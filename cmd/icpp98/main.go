@@ -1,0 +1,451 @@
+// Command icpp98 schedules task-graph files with the algorithms of the
+// paper and inspects graphs and schedules:
+//
+//	icpp98 gen -v 20 -ccr 1.0 -seed 7 > g.tg        # emit a §4.1 random DAG
+//	icpp98 analyze g.tg                             # levels, CP, CCR
+//	icpp98 schedule -algo astar -procs ring:3 g.tg  # optimal schedule + Gantt
+//	icpp98 schedule -algo aeps -eps 0.2 g.tg        # bounded-suboptimal
+//	icpp98 schedule -algo parallel -ppes 4 g.tg     # parallel A*
+//	icpp98 schedule -algo list g.tg                 # list-scheduling heuristic
+//	icpp98 schedule -algo dfbb g.tg                 # depth-first B&B (low memory)
+//	icpp98 schedule -algo bnb g.tg                  # Chen & Yu baseline
+//	icpp98 example                                  # the paper's Figure 1 demo
+//	icpp98 tree -ppes 2 g.tg                        # Figure 3/5 search tree
+//	icpp98 heuristics g.tg                          # heuristic-vs-optimal study
+//	icpp98 dot g.tg                                 # Graphviz export
+//	icpp98 convert -to stg g.tg > g.stg             # Standard Task Graph export
+//
+// Graph files use the text format of internal/taskgraph (graph/node/edge
+// lines); files ending in .stg are read as Standard Task Graph instances.
+// The -procs flag accepts complete:N, ring:N, chain:N, star:N, mesh:RxC,
+// hypercube:D (default complete:V).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bnb"
+	"repro/internal/core"
+	"repro/internal/dfbb"
+	"repro/internal/gen"
+	"repro/internal/listsched"
+	"repro/internal/parallel"
+	"repro/internal/procgraph"
+	"repro/internal/schedule"
+	"repro/internal/stg"
+	"repro/internal/taskgraph"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "analyze":
+		cmdAnalyze(os.Args[2:])
+	case "schedule":
+		cmdSchedule(os.Args[2:])
+	case "example":
+		cmdExample()
+	case "tree":
+		cmdTree(os.Args[2:])
+	case "heuristics":
+		cmdHeuristics(os.Args[2:])
+	case "dot":
+		cmdDot(os.Args[2:])
+	case "convert":
+		cmdConvert(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: icpp98 <gen|analyze|schedule|example|tree|heuristics|dot|convert> [flags] [file]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "icpp98:", err)
+	os.Exit(1)
+}
+
+func loadGraph(args []string) *taskgraph.Graph {
+	var r *os.File
+	isSTG := false
+	if len(args) == 0 || args[0] == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+		isSTG = strings.HasSuffix(args[0], ".stg")
+	}
+	var g *taskgraph.Graph
+	var err error
+	if isSTG {
+		g, err = stg.Read(r, stg.ImportOptions{})
+	} else {
+		g, err = taskgraph.Parse(r)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	return g
+}
+
+func parseSystem(spec string, v int) *procgraph.System {
+	if spec == "" {
+		return procgraph.Complete(v)
+	}
+	name, arg, _ := strings.Cut(spec, ":")
+	atoi := func(s string) int {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad processor spec %q", spec))
+		}
+		return n
+	}
+	switch name {
+	case "complete":
+		return procgraph.Complete(atoi(arg))
+	case "ring":
+		return procgraph.Ring(atoi(arg))
+	case "chain":
+		return procgraph.Chain(atoi(arg))
+	case "star":
+		return procgraph.Star(atoi(arg))
+	case "hypercube":
+		return procgraph.Hypercube(atoi(arg))
+	case "mesh":
+		r, c, ok := strings.Cut(arg, "x")
+		if !ok {
+			fatal(fmt.Errorf("mesh spec must be mesh:RxC, got %q", spec))
+		}
+		return procgraph.Mesh(atoi(r), atoi(c))
+	default:
+		fatal(fmt.Errorf("unknown topology %q", name))
+		return nil
+	}
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	v := fs.Int("v", 20, "number of tasks")
+	ccr := fs.Float64("ccr", 1.0, "communication-to-computation ratio")
+	seed := fs.Uint64("seed", 1, "random seed")
+	kind := fs.String("kind", "random", "random | gauss | fft | forkjoin | wavefront")
+	fs.Parse(args)
+
+	var g *taskgraph.Graph
+	var err error
+	switch *kind {
+	case "random":
+		g, err = gen.Random(gen.RandomConfig{V: *v, CCR: *ccr, Seed: *seed})
+	case "gauss":
+		g, err = gen.GaussianElimination(*v, 40, int32(40**ccr))
+	case "fft":
+		g, err = gen.FFT(*v, 40, int32(40**ccr))
+	case "forkjoin":
+		g, err = gen.ForkJoin(*v, 3, 40, int32(40**ccr))
+	case "wavefront":
+		g, err = gen.Wavefront(*v, 40, int32(40**ccr))
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := taskgraph.Format(os.Stdout, g); err != nil {
+		fatal(err)
+	}
+}
+
+func cmdAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	fs.Parse(args)
+	g := loadGraph(fs.Args())
+	tl := g.TLevels()
+	bl := g.BLevels()
+	sl := g.StaticLevels()
+	fmt.Println(g)
+	fmt.Printf("%-10s %8s %8s %8s %8s\n", "node", "weight", "sl", "b-level", "t-level")
+	for n := int32(0); int(n) < g.NumNodes(); n++ {
+		fmt.Printf("%-10s %8d %8d %8d %8d\n", g.Label(n), g.Weight(n), sl[n], bl[n], tl[n])
+	}
+	cp, path := g.CriticalPath()
+	labels := make([]string, len(path))
+	for i, n := range path {
+		labels[i] = g.Label(n)
+	}
+	fmt.Printf("critical path: length=%d via %s\n", cp, strings.Join(labels, " -> "))
+}
+
+func cmdSchedule(args []string) {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	algo := fs.String("algo", "astar", "astar | aeps | parallel | dfbb | ida | list | etf | mcp | dls | bnb")
+	procs := fs.String("procs", "", "target system, e.g. complete:8, ring:3, mesh:2x4 (default complete:V)")
+	eps := fs.Float64("eps", 0.2, "ε for -algo aeps")
+	ppesN := fs.Int("ppes", 4, "PPEs for -algo parallel")
+	budget := fs.Int64("budget", 0, "expansion budget (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = none)")
+	noPrune := fs.Bool("no-pruning", false, "disable the §3.2 prunings")
+	gantt := fs.Bool("gantt", true, "print the Gantt chart")
+	fs.Parse(args)
+	g := loadGraph(fs.Args())
+	sys := parseSystem(*procs, g.NumNodes())
+
+	var deadline time.Time
+	if *timeout > 0 {
+		deadline = time.Now().Add(*timeout)
+	}
+	var disable core.Disable
+	if *noPrune {
+		disable = core.DisableAllPruning
+	}
+
+	started := time.Now()
+	var s *schedule.Schedule
+	var optimal bool
+	var stats core.Stats
+	switch *algo {
+	case "astar", "aeps":
+		e := 0.0
+		if *algo == "aeps" {
+			e = *eps
+		}
+		res, err := core.Solve(g, sys, core.Options{
+			Epsilon: e, Disable: disable, MaxExpanded: *budget, Deadline: deadline,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		s, optimal, stats = res.Schedule, res.Optimal, res.Stats
+	case "parallel":
+		res, err := parallel.Solve(g, sys, parallel.Options{
+			PPEs: *ppesN, Disable: disable, MaxExpanded: *budget, Deadline: deadline,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		s, optimal, stats = res.Schedule, res.Optimal, res.Stats
+	case "dfbb", "ida":
+		solve := dfbb.Solve
+		if *algo == "ida" {
+			solve = dfbb.SolveIDA
+		}
+		res, err := solve(g, sys, dfbb.Options{
+			Disable: disable, MaxExpanded: *budget, Deadline: deadline,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		s, optimal, stats = res.Schedule, res.Optimal, res.Stats
+	case "list":
+		ls, err := listsched.Schedule(g, sys, listsched.Options{Priority: listsched.PriorityBLevel})
+		if err != nil {
+			fatal(err)
+		}
+		s = ls
+	case "etf":
+		ls, err := listsched.ETF(g, sys)
+		if err != nil {
+			fatal(err)
+		}
+		s = ls
+	case "mcp":
+		ls, err := listsched.MCP(g, sys)
+		if err != nil {
+			fatal(err)
+		}
+		s = ls
+	case "dls":
+		ls, err := listsched.DLS(g, sys)
+		if err != nil {
+			fatal(err)
+		}
+		s = ls
+	case "bnb":
+		res, err := bnb.Solve(g, sys, bnb.Options{MaxExpanded: *budget, Deadline: deadline})
+		if err != nil {
+			fatal(err)
+		}
+		s, optimal, stats = res.Schedule, res.Optimal, res.Stats
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	elapsed := time.Since(started)
+
+	if err := s.Validate(); err != nil {
+		fatal(fmt.Errorf("produced an invalid schedule (bug): %w", err))
+	}
+	fmt.Printf("algorithm=%s system=%s length=%d optimal=%v time=%v\n",
+		*algo, sys.Name(), s.Length, optimal, elapsed.Round(time.Microsecond))
+	if stats.Expanded > 0 {
+		fmt.Printf("states: expanded=%d generated=%d duplicates=%d max-open=%d\n",
+			stats.Expanded, stats.Generated, stats.Duplicates, stats.MaxOpen)
+	}
+	fmt.Println()
+	fmt.Print(s.Table())
+	if *gantt {
+		fmt.Println()
+		fmt.Print(s.Gantt(8))
+	}
+}
+
+func cmdExample() {
+	g := gen.PaperExample()
+	sys := procgraph.Ring(3)
+	fmt.Println("Kwok & Ahmad ICPP'98, Figure 1: 6-task DAG on a 3-processor ring")
+	fmt.Println()
+	res, err := core.Solve(g, sys, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("optimal schedule length = %d (paper's Figure 4: 14)\n", res.Length)
+	fmt.Printf("states: expanded=%d generated=%d\n\n", res.Stats.Expanded, res.Stats.Generated)
+	fmt.Print(res.Schedule.Gantt(8))
+}
+
+func cmdDot(args []string) {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	fs.Parse(args)
+	g := loadGraph(fs.Args())
+	if err := taskgraph.WriteDOT(os.Stdout, g); err != nil {
+		fatal(err)
+	}
+}
+
+// cmdTree records the search of a graph (the worked example by default)
+// and draws the Figure 3-style tree (Figure 5-style when -ppes > 1).
+func cmdTree(args []string) {
+	fs := flag.NewFlagSet("tree", flag.ExitOnError)
+	procs := fs.String("procs", "", "target system (default ring:3, matching Figure 1)")
+	ppes := fs.Int("ppes", 1, "PPE count; > 1 records a parallel search (Figure 5)")
+	dot := fs.Bool("dot", false, "emit Graphviz instead of ASCII")
+	eps := fs.Float64("eps", 0, "ε > 0 traces the Aε* search instead")
+	fs.Parse(args)
+
+	var g *taskgraph.Graph
+	if fs.NArg() == 0 {
+		g = gen.PaperExample()
+	} else {
+		g = loadGraph(fs.Args())
+	}
+	spec := *procs
+	if spec == "" {
+		spec = "ring:3"
+	}
+	sys := parseSystem(spec, g.NumNodes())
+	rec := trace.NewRecorder(g)
+
+	var length int32
+	var optimal bool
+	if *ppes > 1 {
+		res, err := parallel.Solve(g, sys, parallel.Options{
+			PPEs: *ppes, Epsilon: *eps, TracerFor: rec.ForPPE,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		length, optimal = res.Length, res.Optimal
+	} else {
+		res, err := core.Solve(g, sys, core.Options{Epsilon: *eps, Tracer: rec})
+		if err != nil {
+			fatal(err)
+		}
+		length, optimal = res.Length, res.Optimal
+	}
+
+	if *dot {
+		if err := rec.WriteDOT(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("search tree for %q on %s: %d states generated, %d expanded, length %d (optimal=%v)\n\n",
+		g.Name(), sys.Name(), rec.GeneratedCount(), rec.ExpandedCount(), length, optimal)
+	if err := rec.WriteASCII(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// cmdHeuristics runs every list-scheduling heuristic against the optimal
+// A* schedule — the study the paper's introduction motivates ("optimal
+// solutions ... can serve as a reference to assess the performance of
+// various scheduling heuristics").
+func cmdHeuristics(args []string) {
+	fs := flag.NewFlagSet("heuristics", flag.ExitOnError)
+	procs := fs.String("procs", "", "target system (default complete:V)")
+	budget := fs.Int64("budget", 2_000_000, "optimal-search expansion budget")
+	fs.Parse(args)
+	g := loadGraph(fs.Args())
+	sys := parseSystem(*procs, g.NumNodes())
+
+	res, err := core.Solve(g, sys, core.Options{MaxExpanded: *budget})
+	if err != nil {
+		fatal(err)
+	}
+	ref := "optimal"
+	if !res.Optimal {
+		ref = "best-found (budget hit; deviations are upper bounds)"
+	}
+	fmt.Printf("reference: A* length %d (%s)\n\n", res.Length, ref)
+	fmt.Printf("%-24s %8s %10s\n", "heuristic", "length", "deviation")
+	for _, alg := range listsched.All() {
+		s, err := alg.Run(g, sys)
+		if err != nil {
+			fatal(err)
+		}
+		dev := 100 * (float64(s.Length) - float64(res.Length)) / float64(res.Length)
+		fmt.Printf("%-24s %8d %9.1f%%\n", alg.Name, s.Length, dev)
+	}
+}
+
+// cmdConvert rewrites a graph file between the native text format and STG.
+func cmdConvert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	to := fs.String("to", "stg", "target format: stg | tg")
+	edgeCost := fs.Int("edgecost", 0, "uniform edge cost to attach when importing STG")
+	fs.Parse(args)
+	g := loadGraphWithSTGCost(fs.Args(), int32(*edgeCost))
+	switch *to {
+	case "stg":
+		if err := stg.Write(os.Stdout, g); err != nil {
+			fatal(err)
+		}
+	case "tg":
+		if err := taskgraph.Format(os.Stdout, g); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q", *to))
+	}
+}
+
+func loadGraphWithSTGCost(args []string, edgeCost int32) *taskgraph.Graph {
+	if len(args) > 0 && strings.HasSuffix(args[0], ".stg") && edgeCost > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		g, err := stg.Read(f, stg.ImportOptions{EdgeCost: edgeCost})
+		if err != nil {
+			fatal(err)
+		}
+		return g
+	}
+	return loadGraph(args)
+}

@@ -1,0 +1,149 @@
+// Command icpp98bench regenerates the tables and figures of the paper's
+// evaluation (§4):
+//
+//	icpp98bench -experiment table1            # Table 1: Chen vs A* full vs A*
+//	icpp98bench -experiment fig6              # Figure 6: parallel A* speedups
+//	icpp98bench -experiment fig7              # Figure 7: parallel Aε* quality/time
+//	icpp98bench -experiment ablation          # per-pruning + heuristic ablation
+//	icpp98bench -experiment distribution      # parallel placement-policy ablation
+//	icpp98bench -experiment deviation         # list heuristics vs proven optima
+//	icpp98bench -experiment all               # everything
+//
+// The default configuration trims the sweep to laptop-scale sizes; -full
+// runs the paper's 10..32 sizes (expect censored cells unless -budget and
+// -timeout are raised substantially — the original Table 1 cells took up to
+// days on the Intel Paragon).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/procgraph"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | ablation | distribution | deviation | all")
+		sizes      = flag.String("sizes", "", "comma-separated graph sizes (default 10,12,14,16)")
+		ccrs       = flag.String("ccrs", "", "comma-separated CCRs (default 0.1,1,10)")
+		ppes       = flag.String("ppes", "", "comma-separated PPE counts for fig6 (default 2,4,8,16)")
+		epsilons   = flag.String("epsilons", "", "comma-separated ε for fig7 (default 0.2,0.5)")
+		fig7ppes   = flag.Int("fig7ppes", 16, "PPE count for fig7 (paper: 16)")
+		seed       = flag.Uint64("seed", 1998, "workload seed")
+		budget     = flag.Int64("budget", 300000, "per-cell expansion budget (0 = unlimited)")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per-cell wall-clock budget (0 = none)")
+		floor      = flag.Int("floor", 2, "parallel communication-period floor (paper: 2)")
+		full       = flag.Bool("full", false, "run the paper's full 10..32 size sweep")
+		format     = flag.String("format", "md", "output format: md | csv")
+		out        = flag.String("out", "", "output file (default stdout)")
+		procs      = flag.Int("procs", 0, "target PEs per instance (0 = v, the paper's setting)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Seed:        *seed,
+		CellBudget:  *budget,
+		CellTimeout: *timeout,
+		Fig7PPEs:    *fig7ppes,
+		PeriodFloor: *floor,
+	}
+	if *full {
+		cfg.Sizes = bench.Full().Sizes
+	}
+	if *sizes != "" {
+		cfg.Sizes = parseInts(*sizes)
+	}
+	if *ccrs != "" {
+		cfg.CCRs = parseFloats(*ccrs)
+	}
+	if *ppes != "" {
+		cfg.PPEs = parseInts(*ppes)
+	}
+	if *epsilons != "" {
+		cfg.Epsilons = parseFloats(*epsilons)
+	}
+	if *procs > 0 {
+		p := *procs
+		cfg.TargetProcs = func(int) *procgraph.System { return procgraph.Complete(p) }
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	run := func(name string) {
+		started := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		var err error
+		switch name {
+		case "table1":
+			err = bench.RunTable1(cfg).Write(w, *format)
+		case "fig6":
+			err = bench.RunFig6(cfg).Write(w, *format)
+		case "fig7":
+			err = bench.RunFig7(cfg).Write(w, *format)
+		case "ablation":
+			err = bench.RunAblation(cfg).Write(w, *format)
+		case "distribution":
+			err = bench.RunDistribution(cfg).Write(w, *format)
+		case "deviation":
+			err = bench.RunDeviation(cfg).Write(w, *format)
+		default:
+			err = fmt.Errorf("unknown experiment %q", name)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", name, time.Since(started).Round(time.Millisecond))
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"table1", "fig6", "fig7", "ablation", "distribution", "deviation"} {
+			run(name)
+		}
+		return
+	}
+	run(*experiment)
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal(fmt.Errorf("bad integer %q: %w", part, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad float %q: %w", part, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "icpp98bench:", err)
+	os.Exit(1)
+}

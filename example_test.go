@@ -1,0 +1,101 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleScheduleOptimal schedules the paper's Figure 1 task graph onto
+// its 3-processor ring and prints the proven optimum of Figure 4.
+func ExampleScheduleOptimal() {
+	g := repro.PaperExample()
+	sys := repro.Ring(3)
+	res, err := repro.ScheduleOptimal(g, sys)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Length, res.Optimal)
+	// Output: 14 true
+}
+
+// ExampleScheduleApprox shows the Aε* guarantee: the result is provably
+// within (1+ε) of optimal.
+func ExampleScheduleApprox() {
+	g := repro.PaperExample()
+	res, err := repro.ScheduleApprox(g, repro.Ring(3), 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Length <= 21) // (1+0.5)·14
+	// Output: true
+}
+
+// ExampleScheduleParallel runs the parallel A* of §3.3 with two PPE
+// workers, the configuration of the paper's Figure 5 demonstration.
+func ExampleScheduleParallel() {
+	g := repro.PaperExample()
+	res, err := repro.ScheduleParallel(g, repro.Ring(3), 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Length, res.Optimal)
+	// Output: 14 true
+}
+
+// ExampleNewGraphBuilder assembles a diamond DAG by hand and schedules it.
+func ExampleNewGraphBuilder() {
+	b := repro.NewGraphBuilder("diamond")
+	top := b.AddNode(2)
+	left := b.AddNode(3)
+	right := b.AddNode(3)
+	bottom := b.AddNode(2)
+	b.AddEdge(top, left, 1)
+	b.AddEdge(top, right, 1)
+	b.AddEdge(left, bottom, 1)
+	b.AddEdge(right, bottom, 1)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	res, err := repro.ScheduleOptimal(g, repro.Complete(2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Length)
+	// Output: 8
+}
+
+// ExampleScheduleDFBB finds the same optimum with O(v) retained states.
+func ExampleScheduleDFBB() {
+	g := repro.PaperExample()
+	res, err := repro.ScheduleDFBB(g, repro.Ring(3), repro.DepthFirstOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Length, res.Optimal)
+	// Output: 14 true
+}
+
+// ExampleHeuristics assesses every polynomial-time heuristic against the
+// proven optimum — the study the paper's introduction motivates.
+func ExampleHeuristics() {
+	g := repro.PaperExample()
+	sys := repro.Ring(3)
+	opt, err := repro.ScheduleOptimal(g, sys)
+	if err != nil {
+		panic(err)
+	}
+	worse := 0
+	for _, h := range repro.Heuristics() {
+		s, err := h.Run(g, sys)
+		if err != nil {
+			panic(err)
+		}
+		if s.Length > opt.Length {
+			worse++
+		}
+	}
+	fmt.Println(worse >= 0 && opt.Length == 14)
+	// Output: true
+}

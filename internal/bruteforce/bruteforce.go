@@ -1,0 +1,108 @@
+// Package bruteforce computes provably optimal schedules by exhaustive
+// enumeration of the same state space the A* engine searches: every
+// interleaving of ready-node choices across every processor. It exists as
+// ground truth for property tests of the search engines and is practical
+// only for small instances (roughly v <= 9, p <= 4).
+package bruteforce
+
+import (
+	"fmt"
+
+	"repro/internal/procgraph"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// MaxNodes is the largest graph Solve accepts; beyond this the enumeration
+// is hopeless and the caller almost certainly wanted the A* engine.
+const MaxNodes = 14
+
+// Solve returns an optimal schedule and its length. Only the trivial bound
+// "current partial makespan already >= best known" prunes the enumeration,
+// so the result does not depend on any of the machinery under test.
+func Solve(g *taskgraph.Graph, sys *procgraph.System) (*schedule.Schedule, error) {
+	v := g.NumNodes()
+	if v > MaxNodes {
+		return nil, fmt.Errorf("bruteforce: %d nodes exceeds limit %d", v, MaxNodes)
+	}
+	p := sys.NumProcs()
+	e := &enumerator{g: g, sys: sys, v: v, p: p}
+	e.proc = make([]int32, v)
+	e.start = make([]int32, v)
+	e.finish = make([]int32, v)
+	e.rt = make([]int32, p)
+	e.predsLeft = make([]int32, v)
+	for n := 0; n < v; n++ {
+		e.proc[n] = -1
+		e.predsLeft[n] = int32(g.InDegree(int32(n)))
+	}
+	e.best = int32(1) << 30
+	e.bestPlace = make([]schedule.Placement, v)
+	e.recurse(0, 0)
+	if e.found == false {
+		return nil, fmt.Errorf("bruteforce: no schedule found (unreachable for a valid DAG)")
+	}
+	place := append([]schedule.Placement(nil), e.bestPlace...)
+	return schedule.New(g, sys, place), nil
+}
+
+type enumerator struct {
+	g         *taskgraph.Graph
+	sys       *procgraph.System
+	v, p      int
+	proc      []int32
+	start     []int32
+	finish    []int32
+	rt        []int32
+	predsLeft []int32
+	best      int32
+	bestPlace []schedule.Placement
+	found     bool
+}
+
+func (e *enumerator) recurse(scheduled int, makespan int32) {
+	if makespan >= e.best {
+		return
+	}
+	if scheduled == e.v {
+		e.best = makespan
+		e.found = true
+		for n := 0; n < e.v; n++ {
+			e.bestPlace[n] = schedule.Placement{Proc: e.proc[n], Start: e.start[n], Finish: e.finish[n]}
+		}
+		return
+	}
+	for n := int32(0); int(n) < e.v; n++ {
+		if e.proc[n] >= 0 || e.predsLeft[n] != 0 {
+			continue
+		}
+		for pe := 0; pe < e.p; pe++ {
+			st := e.rt[pe]
+			for _, a := range e.g.Pred(n) {
+				t := e.finish[a.Node] + e.sys.CommCost(a.Cost, int(e.proc[a.Node]), pe)
+				if t > st {
+					st = t
+				}
+			}
+			ft := st + e.sys.ExecCost(e.g.Weight(n), pe)
+			// Apply the move.
+			oldRT := e.rt[pe]
+			e.proc[n], e.start[n], e.finish[n] = int32(pe), st, ft
+			e.rt[pe] = ft
+			for _, a := range e.g.Succ(n) {
+				e.predsLeft[a.Node]--
+			}
+			m := makespan
+			if ft > m {
+				m = ft
+			}
+			e.recurse(scheduled+1, m)
+			// Undo the move.
+			for _, a := range e.g.Succ(n) {
+				e.predsLeft[a.Node]++
+			}
+			e.rt[pe] = oldRT
+			e.proc[n] = -1
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package bruteforce
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/procgraph"
+	"repro/internal/taskgraph"
+)
+
+// TestPaperExample: exhaustive enumeration confirms the Figure 4 optimum.
+func TestPaperExample(t *testing.T) {
+	g := gen.PaperExample()
+	s, err := Solve(g, procgraph.Ring(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length != 14 {
+		t.Fatalf("brute force length = %d, want 14", s.Length)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKnownOptima: hand-checkable instances.
+func TestKnownOptima(t *testing.T) {
+	// Two independent tasks, two PEs: max weight.
+	b := taskgraph.NewBuilder("pair")
+	b.AddNode(4)
+	b.AddNode(6)
+	g := b.MustBuild()
+	s, err := Solve(g, procgraph.Complete(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length != 6 {
+		t.Errorf("independent pair: %d, want 6", s.Length)
+	}
+
+	// Chain with cheap comm: can't beat the serial sum.
+	cb := taskgraph.NewBuilder("chain")
+	x := cb.AddNode(3)
+	y := cb.AddNode(4)
+	cb.AddEdge(x, y, 1)
+	cg := cb.MustBuild()
+	s2, err := Solve(cg, procgraph.Complete(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Length != 7 {
+		t.Errorf("chain: %d, want 7", s2.Length)
+	}
+
+	// Fork with free comm: parallelizable.
+	fb := taskgraph.NewBuilder("fork")
+	r := fb.AddNode(1)
+	a1 := fb.AddNode(5)
+	a2 := fb.AddNode(5)
+	fb.AddEdge(r, a1, 0)
+	fb.AddEdge(r, a2, 0)
+	fg := fb.MustBuild()
+	s3, err := Solve(fg, procgraph.Complete(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Length != 6 {
+		t.Errorf("free fork: %d, want 6", s3.Length)
+	}
+}
+
+// TestSizeLimit: instances above MaxNodes are rejected.
+func TestSizeLimit(t *testing.T) {
+	b := taskgraph.NewBuilder("big")
+	for i := 0; i < MaxNodes+1; i++ {
+		b.AddNode(1)
+	}
+	if _, err := Solve(b.MustBuild(), procgraph.Complete(2)); err == nil {
+		t.Error("expected size-limit error")
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"time"
+)
+
+// Disable selects engine features to switch off, for the paper's "A* without
+// state-space pruning" column in Table 1 and for per-technique ablations.
+// The zero value (nothing disabled) is the full algorithm of §3.2.
+type Disable uint8
+
+const (
+	// DisableIsomorphism turns off the processor-isomorphism pruning.
+	DisableIsomorphism Disable = 1 << iota
+	// DisableEquivalence turns off the node-equivalence pruning
+	// (Definition 3).
+	DisableEquivalence
+	// DisableUpperBound turns off the upper-bound solution cost pruning.
+	DisableUpperBound
+	// DisablePriorityOrder expands ready nodes in node-id order instead of
+	// decreasing b-level + t-level.
+	DisablePriorityOrder
+	// DisableDuplicateCheck turns off the OPEN ∪ CLOSED duplicate test —
+	// exponentially wasteful, provided for ablation only.
+	DisableDuplicateCheck
+
+	// DisableAllPruning is the "A* full" configuration of Table 1: plain A*
+	// with the paper's cost function but none of the §3.2 prunings.
+	DisableAllPruning = DisableIsomorphism | DisableEquivalence | DisableUpperBound | DisablePriorityOrder
+)
+
+// HFunc selects the heuristic function.
+type HFunc int
+
+const (
+	// HPaper is the paper's h(s) = max_{n_j ∈ succ(n_max)} sl(n_j).
+	HPaper HFunc = iota
+	// HPlus strengthens HPaper with two further admissible terms: the static
+	// graph lower bound, and for every unscheduled node with a scheduled
+	// parent, parent-finish + sl. Strictly tighter, costs O(e) per child
+	// (ablation "hplus").
+	HPlus
+)
+
+// Tracer observes the search as it runs. Implementations must be cheap:
+// the engine calls Expanded once per state expansion and Generated once per
+// emitted (non-pruned, non-duplicate) child — the same set of states the
+// paper's search-tree figures draw. The trace package builds Figure 3/5
+// renderings from these events.
+type Tracer interface {
+	// Expanded is called when s is taken for expansion.
+	Expanded(s *State)
+	// Generated is called when child (created by expanding parent) is
+	// emitted into the search.
+	Generated(parent, child *State)
+}
+
+// Options configures a solve.
+type Options struct {
+	// Disable switches off individual prunings; zero means the full §3.2
+	// algorithm.
+	Disable Disable
+	// Epsilon > 0 selects the approximate Aε* (§3.4): the returned schedule
+	// is no longer than (1+Epsilon) times optimal.
+	Epsilon float64
+	// HFunc selects the heuristic; the default is the paper's.
+	HFunc HFunc
+	// UpperBound, when > 0, overrides the list-scheduling upper bound U.
+	UpperBound int32
+	// MaxExpanded, when > 0, aborts the search after that many expansions
+	// and returns the best schedule found so far (Optimal=false).
+	MaxExpanded int64
+	// Deadline, when set, aborts the search at that time likewise.
+	Deadline time.Time
+	// Tracer, when non-nil, receives search events (see Tracer).
+	Tracer Tracer
+}
+
+// Stats counts search effort; every engine fills one.
+type Stats struct {
+	Expanded     int64 // states removed from OPEN and expanded
+	Generated    int64 // child states constructed
+	PrunedIso    int64 // (node, PE) targets skipped by processor isomorphism
+	PrunedEquiv  int64 // ready nodes skipped by node equivalence
+	PrunedUB     int64 // children discarded with f > U
+	PrunedBound  int64 // children discarded against the incumbent
+	Duplicates   int64 // children rejected by the visited table
+	MaxOpen      int   // peak OPEN size
+	VisitedSize  int   // final visited-table population
+	Rounds       int64 // parallel engine: communication rounds
+	StatesShared int64 // parallel engine: states moved between PPEs
+	// CriticalWork is the parallel engine's modeled critical path: the sum
+	// over rounds of the maximum per-PPE expansions in that round (plus one
+	// per round of neighborhood vote expansions). With one physical core per
+	// PPE and uniform expansion cost, wall time is proportional to it; the
+	// Figure 6 harness derives its modeled speedup from this (see DESIGN.md
+	// §5 on the Paragon substitution).
+	CriticalWork int64
+	UpperBound   int32 // the U that was used (0 if disabled)
+	StaticLB     int32 // graph-level lower bound
+	WallTime     time.Duration
+}
+
+// Add accumulates other into s (used to merge per-PPE stats).
+func (s *Stats) Add(other *Stats) {
+	s.Expanded += other.Expanded
+	s.Generated += other.Generated
+	s.PrunedIso += other.PrunedIso
+	s.PrunedEquiv += other.PrunedEquiv
+	s.PrunedUB += other.PrunedUB
+	s.PrunedBound += other.PrunedBound
+	s.Duplicates += other.Duplicates
+	if other.MaxOpen > s.MaxOpen {
+		s.MaxOpen = other.MaxOpen
+	}
+	s.VisitedSize += other.VisitedSize
+	s.StatesShared += other.StatesShared
+}
+
+// Expander generates the children of a state: the expansion operator of
+// §3.1 (every ready node onto every PE) filtered by the §3.2 prunings. One
+// Expander per worker; it owns reusable scratch arrays so expansion does not
+// allocate beyond the child states themselves.
+type Expander struct {
+	M       *Model
+	Disable Disable
+	HFunc   HFunc
+
+	// UB is the inclusive upper-bound prune: children with f > UB are
+	// discarded. Zero disables.
+	UB int32
+	// Bound, when non-nil, returns the current incumbent bound; children
+	// with f >= Bound() are discarded (they cannot improve on a complete
+	// schedule already in hand). Used for cross-PPE pruning.
+	Bound func() int32
+	// Tracer, when non-nil, receives the expansion/generation events.
+	Tracer Tracer
+
+	Stats *Stats
+
+	procOf   []int32 // scratch: per node, assigned PE or -1
+	startOf  []int32
+	finishOf []int32
+	rt       []int32 // scratch: per PE ready time (Definition 1)
+	cnt      []int32 // scratch: per PE number of assigned nodes
+	eqSeen   []bool  // scratch: equivalence classes already branched
+	procOK   []bool  // scratch: PEs to consider after isomorphism filtering
+}
+
+// NewExpander returns an expander for the model with its own scratch space.
+func (m *Model) NewExpander(opt Options, stats *Stats) *Expander {
+	return &Expander{
+		M:        m,
+		Disable:  opt.Disable,
+		HFunc:    opt.HFunc,
+		Tracer:   opt.Tracer,
+		Stats:    stats,
+		procOf:   make([]int32, m.V),
+		startOf:  make([]int32, m.V),
+		finishOf: make([]int32, m.V),
+		rt:       make([]int32, m.P),
+		cnt:      make([]int32, m.P),
+		eqSeen:   make([]bool, m.V),
+		procOK:   make([]bool, m.P),
+	}
+}
+
+// load materializes s's partial schedule into the scratch arrays.
+func (e *Expander) load(s *State) {
+	for i := range e.procOf {
+		e.procOf[i] = -1
+	}
+	for i := range e.rt {
+		e.rt[i] = 0
+		e.cnt[i] = 0
+	}
+	for cur := s; cur != nil && cur.node >= 0; cur = cur.parent {
+		e.procOf[cur.node] = cur.proc
+		e.startOf[cur.node] = cur.start
+		e.finishOf[cur.node] = cur.finish
+		e.cnt[cur.proc]++
+		if cur.finish > e.rt[cur.proc] {
+			e.rt[cur.proc] = cur.finish
+		}
+	}
+}
+
+// Expand generates every non-pruned child of s. Children that pass the
+// visited test (when visited is non-nil) are handed to emit. It returns the
+// number of children emitted.
+func (e *Expander) Expand(s *State, visited *Visited, emit func(*State)) int {
+	m := e.M
+	e.load(s)
+	if e.Stats != nil {
+		e.Stats.Expanded++
+	}
+	if e.Tracer != nil {
+		e.Tracer.Expanded(s)
+	}
+
+	// Processor-isomorphism pruning: among empty PEs of one
+	// interchangeability class, only the lowest-indexed is a target.
+	for pe := 0; pe < m.P; pe++ {
+		e.procOK[pe] = true
+	}
+	if e.Disable&DisableIsomorphism == 0 {
+		seen := make(map[int32]bool, 4)
+		for pe := 0; pe < m.P; pe++ {
+			if e.cnt[pe] != 0 {
+				continue
+			}
+			rep := m.procRep[pe]
+			if seen[rep] {
+				e.procOK[pe] = false
+			} else {
+				seen[rep] = true
+			}
+		}
+	}
+
+	order := m.prioOrder
+	if e.Disable&DisablePriorityOrder != 0 {
+		order = nil // fall back to node-id order below
+	}
+	for i := range e.eqSeen {
+		e.eqSeen[i] = false
+	}
+
+	emitted := 0
+	for i := 0; i < m.V; i++ {
+		var n int32
+		if order != nil {
+			n = order[i]
+		} else {
+			n = int32(i)
+		}
+		if s.mask&(1<<uint(n)) != 0 {
+			continue
+		}
+		ready := true
+		for _, a := range m.G.Pred(n) {
+			if s.mask&(1<<uint(a.Node)) == 0 {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		if e.Disable&DisableEquivalence == 0 {
+			rep := m.eqRep[n]
+			if e.eqSeen[rep] {
+				if e.Stats != nil {
+					e.Stats.PrunedEquiv++
+				}
+				continue
+			}
+			e.eqSeen[rep] = true
+		}
+		emitted += e.expandNode(s, n, visited, emit)
+	}
+	return emitted
+}
+
+// expandNode generates the children that assign ready node n to each
+// admissible PE.
+func (e *Expander) expandNode(s *State, n int32, visited *Visited, emit func(*State)) int {
+	m := e.M
+	emitted := 0
+	for pe := int32(0); int(pe) < m.P; pe++ {
+		if !e.procOK[pe] {
+			if e.Stats != nil {
+				e.Stats.PrunedIso++
+			}
+			continue
+		}
+		st := e.rt[pe]
+		for _, a := range m.G.Pred(n) {
+			t := e.finishOf[a.Node] + m.Sys.CommCost(a.Cost, int(e.procOf[a.Node]), int(pe))
+			if t > st {
+				st = t
+			}
+		}
+		ft := st + m.exec[n][pe]
+
+		g := s.g
+		if ft > g {
+			g = ft
+		}
+		var h int32
+		switch {
+		case ft > s.g:
+			h = m.maxSlSucc[n]
+		case ft == s.g:
+			h = s.h
+			if m.maxSlSucc[n] > h {
+				h = m.maxSlSucc[n]
+			}
+		default:
+			h = s.h
+		}
+		if e.HFunc == HPlus {
+			h = e.hPlus(s, n, ft, g, h)
+		}
+		f := g + h
+
+		if e.UB > 0 && e.Disable&DisableUpperBound == 0 && f > e.UB {
+			if e.Stats != nil {
+				e.Stats.PrunedUB++
+			}
+			continue
+		}
+		if e.Bound != nil {
+			if b := e.Bound(); b > 0 && f >= b {
+				if e.Stats != nil {
+					e.Stats.PrunedBound++
+				}
+				continue
+			}
+		}
+
+		child := &State{
+			parent: s,
+			sig:    s.sig ^ sigMix(n, pe, st),
+			mask:   s.mask | 1<<uint(n),
+			g:      g,
+			h:      h,
+			f:      f,
+			node:   n,
+			proc:   pe,
+			start:  st,
+			finish: ft,
+			depth:  s.depth + 1,
+		}
+		if e.Stats != nil {
+			e.Stats.Generated++
+		}
+		if visited != nil && e.Disable&DisableDuplicateCheck == 0 && !visited.Add(child) {
+			if e.Stats != nil {
+				e.Stats.Duplicates++
+			}
+			continue
+		}
+		if e.Tracer != nil {
+			e.Tracer.Generated(s, child)
+		}
+		emit(child)
+		emitted++
+	}
+	return emitted
+}
+
+// hPlus strengthens h with further admissible lower bounds: the schedule
+// cannot finish before the graph's static lower bound, nor before
+// FT(q) + sl_min(u) for any scheduled node q with an unscheduled child u
+// (u cannot start before its parent finishes, and at least sl_min(u) work
+// follows on u's longest descending chain). The just-scheduled node n
+// contributes ft + sl_min(u) for each of its children, all of which are
+// necessarily unscheduled.
+func (e *Expander) hPlus(s *State, n int32, ft, g, h int32) int32 {
+	m := e.M
+	if lb := m.staticLB - g; lb > h {
+		h = lb
+	}
+	childMask := s.mask | 1<<uint(n)
+	for q := int32(0); int(q) < m.V; q++ {
+		if e.procOf[q] < 0 && q != n {
+			continue
+		}
+		fq := e.finishOf[q]
+		if q == n {
+			fq = ft
+		}
+		for _, a := range m.G.Succ(q) {
+			if childMask&(1<<uint(a.Node)) != 0 {
+				continue
+			}
+			if hb := fq + m.slMin[a.Node] - g; hb > h {
+				h = hb
+			}
+		}
+	}
+	return h
+}

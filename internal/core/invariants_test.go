@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/procgraph"
+	"repro/internal/taskgraph"
+)
+
+// watchingTracer checks search-order invariants online.
+type watchingTracer struct {
+	t         *testing.T
+	maxPopped int32
+	gViolated bool
+}
+
+func (w *watchingTracer) Expanded(s *State) {
+	if s.F() > w.maxPopped {
+		w.maxPopped = s.F()
+	}
+}
+
+func (w *watchingTracer) Generated(parent, child *State) {
+	if child.G() < parent.G() {
+		w.gViolated = true
+	}
+}
+
+// TestAdmissibilityViaExpansionOrder asserts the A* admissibility
+// consequence (Theorem 1): with the paper's h, no state expanded before
+// the goal pops has f exceeding the optimal length. A single violation
+// would mean h overestimated somewhere along the optimal path.
+func TestAdmissibilityViaExpansionOrder(t *testing.T) {
+	for _, ccr := range []float64{0.1, 1.0, 10.0} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			g := gen.MustRandom(gen.RandomConfig{V: 9, CCR: ccr, Seed: seed})
+			sys := procgraph.Complete(3)
+			w := &watchingTracer{t: t}
+			res, err := Solve(g, sys, Options{Tracer: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Optimal {
+				t.Fatalf("ccr=%g seed=%d: not proven optimal", ccr, seed)
+			}
+			if w.maxPopped > res.Length {
+				t.Errorf("ccr=%g seed=%d: expanded a state with f=%d > optimal %d — h overestimates",
+					ccr, seed, w.maxPopped, res.Length)
+			}
+			if w.gViolated {
+				t.Errorf("ccr=%g seed=%d: g decreased along a parent-child edge — not monotone", ccr, seed)
+			}
+		}
+	}
+}
+
+// TestAdmissibilityHPlus runs the same check for the strengthened
+// heuristic, which must also never overestimate.
+func TestAdmissibilityHPlus(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		g := gen.MustRandom(gen.RandomConfig{V: 9, CCR: 10.0, Seed: seed})
+		sys := procgraph.Complete(3)
+		w := &watchingTracer{t: t}
+		res, err := Solve(g, sys, Options{HFunc: HPlus, Tracer: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.maxPopped > res.Length {
+			t.Errorf("seed=%d: HPlus expanded f=%d > optimal %d — overestimates", seed, w.maxPopped, res.Length)
+		}
+	}
+}
+
+// TestAllPruningCombinations runs every subset of the four §3.2 prunings
+// on fixed instances: the optimum must be invariant — prunings may only
+// change effort, never the answer.
+func TestAllPruningCombinations(t *testing.T) {
+	combos := []Disable{}
+	for bits := 0; bits < 16; bits++ {
+		var d Disable
+		if bits&1 != 0 {
+			d |= DisableIsomorphism
+		}
+		if bits&2 != 0 {
+			d |= DisableEquivalence
+		}
+		if bits&4 != 0 {
+			d |= DisableUpperBound
+		}
+		if bits&8 != 0 {
+			d |= DisablePriorityOrder
+		}
+		combos = append(combos, d)
+	}
+	for _, ccr := range []float64{1.0, 10.0} {
+		g := gen.MustRandom(gen.RandomConfig{V: 9, CCR: ccr, Seed: 123})
+		sys := procgraph.Ring(3)
+		want, err := Solve(g, sys, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range combos {
+			got, err := Solve(g, sys, Options{Disable: d})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Length != want.Length || !got.Optimal {
+				t.Errorf("ccr=%g disable=%04b: length=%d optimal=%v; want %d",
+					ccr, d, got.Length, got.Optimal, want.Length)
+			}
+		}
+	}
+}
+
+// TestStatsConsistency asserts the bookkeeping relations every solve must
+// satisfy.
+func TestStatsConsistency(t *testing.T) {
+	g := gen.MustRandom(gen.RandomConfig{V: 10, CCR: 1.0, Seed: 5})
+	sys := procgraph.Complete(3)
+	res, err := Solve(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Expanded <= 0 || st.Generated <= 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+	if st.Duplicates > st.Generated {
+		t.Errorf("duplicates %d exceed generated %d", st.Duplicates, st.Generated)
+	}
+	if st.UpperBound < res.Length {
+		t.Errorf("upper bound %d below the optimum %d — heuristic bound must be feasible", st.UpperBound, res.Length)
+	}
+	if st.StaticLB > res.Length {
+		t.Errorf("static lower bound %d above the optimum %d", st.StaticLB, res.Length)
+	}
+	if st.VisitedSize <= 0 || int64(st.VisitedSize) > st.Generated+1 {
+		t.Errorf("visited size %d out of range (generated %d)", st.VisitedSize, st.Generated)
+	}
+	if st.MaxOpen <= 0 {
+		t.Errorf("MaxOpen %d; OPEN was never observed", st.MaxOpen)
+	}
+	if st.WallTime <= 0 {
+		t.Error("wall time not recorded")
+	}
+}
+
+// TestUpperBoundOverride asserts a caller-supplied U is honored: an exact
+// optimum passed as the bound must still solve, and an infeasibly small
+// one must not break completeness of the fallback path.
+func TestUpperBoundOverride(t *testing.T) {
+	g := gen.MustRandom(gen.RandomConfig{V: 9, CCR: 1.0, Seed: 9})
+	sys := procgraph.Complete(3)
+	want, err := Solve(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// U = exact optimum: children with f > U pruned, goal still found.
+	got, err := Solve(g, sys, Options{UpperBound: want.Length})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Length != want.Length {
+		t.Errorf("with U=optimum: length %d; want %d", got.Length, want.Length)
+	}
+	if got.Stats.Expanded > want.Stats.Expanded {
+		t.Errorf("tight U expanded more states (%d > %d)", got.Stats.Expanded, want.Stats.Expanded)
+	}
+	// U below the optimum prunes every goal; the engine must fall back to
+	// the feasible list schedule rather than fail. The result must not
+	// claim optimality at a sub-optimal length.
+	low, err := Solve(g, sys, Options{UpperBound: want.Length - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Schedule == nil {
+		t.Fatal("no schedule returned with an infeasible bound")
+	}
+	if err := low.Schedule.Validate(); err != nil {
+		t.Fatalf("fallback schedule invalid: %v", err)
+	}
+	if low.Length < want.Length {
+		t.Errorf("impossible length %d below the optimum %d", low.Length, want.Length)
+	}
+}
+
+// TestEquivalencePrunesInterchangeableSiblings pins Definition 3 on a
+// fork of identical children: only one representative of the equivalence
+// class may be branched on, and the optimum is unaffected.
+func TestEquivalencePrunesInterchangeableSiblings(t *testing.T) {
+	bld := taskgraph.NewBuilder("fork")
+	root := bld.AddNode(5)
+	sink := bld.AddNode(5)
+	for i := 0; i < 4; i++ {
+		mid := bld.AddNode(7)
+		bld.AddEdge(root, mid, 3)
+		bld.AddEdge(mid, sink, 3)
+	}
+	g := bld.MustBuild()
+	sys := procgraph.Complete(2)
+	full, err := Solve(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Solve(g, sys, Options{Disable: DisableEquivalence})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Length != off.Length {
+		t.Fatalf("equivalence pruning changed the optimum: %d vs %d", full.Length, off.Length)
+	}
+	if full.Stats.PrunedEquiv == 0 {
+		t.Error("no equivalence prunes on a graph of identical siblings")
+	}
+	if full.Stats.Generated >= off.Stats.Generated {
+		t.Errorf("equivalence pruning did not shrink generation: %d >= %d",
+			full.Stats.Generated, off.Stats.Generated)
+	}
+}
+
+// TestModelAcceptsMaxNodes asserts the documented 64-node ceiling is
+// actually usable (model construction and one expansion).
+func TestModelAcceptsMaxNodes(t *testing.T) {
+	g := gen.MustRandom(gen.RandomConfig{V: MaxNodes, CCR: 1.0, Seed: 1})
+	m, err := NewModel(g, procgraph.Complete(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	exp := m.NewExpander(Options{}, &stats)
+	if n := exp.Expand(Root(), NewVisited(), func(*State) {}); n == 0 {
+		t.Fatal("no children from the root of a 64-node graph")
+	}
+}
+
+// TestResultStringers exercises Disable/HFunc formatting used in reports.
+func TestResultStringers(t *testing.T) {
+	if s := fmt.Sprintf("%v", DisableAllPruning); s == "" {
+		t.Error("Disable prints empty")
+	}
+}

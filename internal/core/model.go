@@ -1,0 +1,188 @@
+// Package core implements the paper's primary contribution: the serial A*
+// scheduling algorithm of §3.1 with the computationally efficient admissible
+// cost function f(s) = g(s) + h(s), the four state-space pruning techniques
+// of §3.2 (processor isomorphism, priority assignment, node equivalence,
+// upper-bound solution cost), and the approximate Aε* variant of §3.4
+// (FOCAL-list search with a bounded (1+ε) deviation from optimal).
+//
+// The building blocks (Model, State, Expander, Visited) are exported so the
+// parallel engine in internal/parallel can run the identical expansion logic
+// on every physical processing element (PPE).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/procgraph"
+	"repro/internal/taskgraph"
+)
+
+// MaxNodes is the largest task graph the engine accepts; the scheduled-set
+// bitmask of a search state is a uint64. The paper's evaluation tops out at
+// v = 32.
+const MaxNodes = 64
+
+// Model holds everything about a (graph, system) instance that the search
+// needs, precomputed once: per-PE execution costs, the static levels that
+// define h, the b-level + t-level priority order, node-equivalence classes
+// (Definition 3), and the processor-interchangeability classes used by the
+// isomorphism pruning.
+type Model struct {
+	G   *taskgraph.Graph
+	Sys *procgraph.System
+	V   int
+	P   int
+
+	exec      [][]int32 // [node][pe] execution cost
+	slMin     []int32   // static levels with per-node MINIMUM exec cost (admissible h)
+	maxSlSucc []int32   // per node: max slMin over its successors; 0 for exits
+	prioOrder []int32   // node ids by decreasing b-level + t-level (mean costs)
+	eqRep     []int32   // node-equivalence class representative (lowest id)
+	procRep   []int32   // PE interchangeability class representative
+	staticLB  int32     // graph-level lower bound: max over n of tlMin(n)+slMin(n)
+}
+
+// NewModel validates the instance and precomputes the search tables.
+func NewModel(g *taskgraph.Graph, sys *procgraph.System) (*Model, error) {
+	v := g.NumNodes()
+	p := sys.NumProcs()
+	if v == 0 {
+		return nil, fmt.Errorf("core: empty task graph")
+	}
+	if v > MaxNodes {
+		return nil, fmt.Errorf("core: %d nodes exceeds the engine limit of %d", v, MaxNodes)
+	}
+	if p == 0 {
+		return nil, fmt.Errorf("core: system has no processors")
+	}
+	m := &Model{G: g, Sys: sys, V: v, P: p}
+
+	m.exec = make([][]int32, v)
+	wMin := make([]int32, v)
+	wMean := make([]int32, v)
+	for n := 0; n < v; n++ {
+		m.exec[n] = make([]int32, p)
+		var sum int64
+		mn := int32(1<<31 - 1)
+		for pe := 0; pe < p; pe++ {
+			c := sys.ExecCost(g.Weight(int32(n)), pe)
+			m.exec[n][pe] = c
+			sum += int64(c)
+			if c < mn {
+				mn = c
+			}
+		}
+		wMin[n] = mn
+		wMean[n] = int32(sum / int64(p))
+		if wMean[n] < 1 {
+			wMean[n] = 1
+		}
+	}
+
+	m.slMin = g.StaticLevelsWith(wMin)
+	m.maxSlSucc = make([]int32, v)
+	for n := 0; n < v; n++ {
+		var best int32
+		for _, a := range g.Succ(int32(n)) {
+			if m.slMin[a.Node] > best {
+				best = m.slMin[a.Node]
+			}
+		}
+		m.maxSlSucc[n] = best
+	}
+
+	bl := g.BLevelsWith(wMean)
+	tl := g.TLevelsWith(wMean)
+	m.prioOrder = make([]int32, v)
+	for n := range m.prioOrder {
+		m.prioOrder[n] = int32(n)
+	}
+	sort.SliceStable(m.prioOrder, func(i, j int) bool {
+		a, b := m.prioOrder[i], m.prioOrder[j]
+		pa := int64(bl[a]) + int64(tl[a])
+		pb := int64(bl[b]) + int64(tl[b])
+		if pa != pb {
+			return pa > pb
+		}
+		return a < b
+	})
+
+	m.eqRep = equivalenceClasses(g)
+	m.procRep = sys.Classes()
+
+	tlMin := g.TLevelsWith(wMin)
+	for n := 0; n < v; n++ {
+		if lb := tlMinNoComm(g, wMin)[n] + m.slMin[n]; lb > m.staticLB {
+			m.staticLB = lb
+		}
+	}
+	_ = tlMin
+	return m, nil
+}
+
+// tlMinNoComm computes t-levels with minimum execution costs and ZERO edge
+// costs: the earliest conceivable start of each node on any system, used for
+// the static lower bound (tasks on one PE pay no communication).
+func tlMinNoComm(g *taskgraph.Graph, wMin []int32) []int32 {
+	v := g.NumNodes()
+	tl := make([]int32, v)
+	for _, n := range g.TopoOrder() {
+		var best int32
+		for _, a := range g.Pred(n) {
+			if t := tl[a.Node] + wMin[a.Node]; t > best {
+				best = t
+			}
+		}
+		tl[n] = best
+	}
+	return tl
+}
+
+// equivalenceClasses groups nodes per Definition 3: two nodes are equivalent
+// iff they have identical predecessor sets, identical weights, and identical
+// successor sets, with pairwise-equal edge costs (the condition that makes
+// their t-levels and b-levels coincide). Each node maps to the lowest node
+// id in its class.
+func equivalenceClasses(g *taskgraph.Graph) []int32 {
+	v := g.NumNodes()
+	rep := make([]int32, v)
+	byKey := map[string]int32{}
+	var b strings.Builder
+	for n := 0; n < v; n++ {
+		b.Reset()
+		fmt.Fprintf(&b, "w%d|p", g.Weight(int32(n)))
+		for _, a := range g.Pred(int32(n)) {
+			fmt.Fprintf(&b, "%d:%d,", a.Node, a.Cost)
+		}
+		b.WriteString("|s")
+		for _, a := range g.Succ(int32(n)) {
+			fmt.Fprintf(&b, "%d:%d,", a.Node, a.Cost)
+		}
+		key := b.String()
+		if r, ok := byKey[key]; ok {
+			rep[n] = r
+		} else {
+			byKey[key] = int32(n)
+			rep[n] = int32(n)
+		}
+	}
+	return rep
+}
+
+// ExecCost returns the execution cost of node n on PE pe.
+func (m *Model) ExecCost(n, pe int32) int32 { return m.exec[n][pe] }
+
+// StaticLevelMin returns sl(n) computed with minimum execution costs.
+func (m *Model) StaticLevelMin(n int32) int32 { return m.slMin[n] }
+
+// StaticLowerBound returns a graph-level lower bound on any schedule length.
+func (m *Model) StaticLowerBound() int32 { return m.staticLB }
+
+// PriorityOrder returns node ids by decreasing b-level + t-level. The caller
+// must not modify the returned slice.
+func (m *Model) PriorityOrder() []int32 { return m.prioOrder }
+
+// EquivalenceRep returns the node-equivalence class representative of n.
+func (m *Model) EquivalenceRep(n int32) int32 { return m.eqRep[n] }

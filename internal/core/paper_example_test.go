@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/procgraph"
+)
+
+// TestFigure2Levels checks the sl / b-level / t-level table of the paper's
+// Figure 2 for the Figure 1(a) DAG.
+func TestFigure2Levels(t *testing.T) {
+	g := gen.PaperExample()
+	sl := g.StaticLevels()
+	bl := g.BLevels()
+	tl := g.TLevels()
+	want := []struct{ sl, bl, tl int32 }{
+		{12, 19, 0}, // n1
+		{10, 16, 3}, // n2
+		{10, 16, 3}, // n3
+		{6, 10, 4},  // n4
+		{7, 12, 7},  // n5
+		{2, 2, 17},  // n6
+	}
+	for n, w := range want {
+		if sl[n] != w.sl || bl[n] != w.bl || tl[n] != w.tl {
+			t.Errorf("%s: got sl=%d bl=%d tl=%d, want sl=%d bl=%d tl=%d",
+				g.Label(int32(n)), sl[n], bl[n], tl[n], w.sl, w.bl, w.tl)
+		}
+	}
+	if cp, _ := g.CriticalPath(); cp != 19 {
+		t.Errorf("critical path = %d, want 19", cp)
+	}
+}
+
+// TestFigure3RootExpansion checks the f = g + h values of the first two
+// levels of the Figure 3 search tree: the root child (n1 -> PE0 with
+// f = 2 + 10) and its children (n2 -> PE0: 5+7, n2 -> PE1: 6+7,
+// n4 -> PE0: 6+2, n4 -> PE1: 8+2). Processor isomorphism must leave exactly
+// one root child (the 3-ring PEs are mutually interchangeable) and node
+// equivalence must suppress n3 (equivalent to n2).
+func TestFigure3RootExpansion(t *testing.T) {
+	g := gen.PaperExample()
+	sys := procgraph.Ring(3)
+	m, err := NewModel(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	exp := m.NewExpander(Options{}, &stats)
+
+	var level1 []*State
+	exp.Expand(Root(), nil, func(s *State) { level1 = append(level1, s) })
+	if len(level1) != 1 {
+		t.Fatalf("root expansion generated %d states, want 1 (processor isomorphism)", len(level1))
+	}
+	s1 := level1[0]
+	if s1.Node() != 0 || s1.G() != 2 || s1.H() != 10 {
+		t.Fatalf("root child: node=%d f=%d+%d, want n1 with f=2+10", s1.Node(), s1.G(), s1.H())
+	}
+
+	var level2 []*State
+	exp.Expand(s1, nil, func(s *State) { level2 = append(level2, s) })
+	type gh struct{ node, proc, g, h int32 }
+	got := map[gh]bool{}
+	for _, s := range level2 {
+		got[gh{s.Node(), s.Proc(), s.G(), s.H()}] = true
+	}
+	want := []gh{
+		{1, 0, 5, 7}, // n2 -> PE0: f = 5 + 7
+		{1, 1, 6, 7}, // n2 -> PE1: f = 6 + 7
+		{3, 0, 6, 2}, // n4 -> PE0: f = 6 + 2
+		{3, 1, 8, 2}, // n4 -> PE1: f = 8 + 2
+	}
+	if len(level2) != len(want) {
+		t.Fatalf("level-2 expansion generated %d states, want %d: %+v", len(level2), len(want), level2)
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing level-2 state n%d -> PE%d with f = %d + %d", w.node+1, w.proc, w.g, w.h)
+		}
+	}
+}
+
+// TestFigure4Optimal checks the headline of the worked example: the optimal
+// schedule of the Figure 1(a) DAG on the 3-processor ring has length 14.
+func TestFigure4Optimal(t *testing.T) {
+	g := gen.PaperExample()
+	sys := procgraph.Ring(3)
+	res, err := Solve(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatal("solver did not prove optimality")
+	}
+	if res.Length != 14 {
+		t.Fatalf("optimal length = %d, want 14", res.Length)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("optimal schedule invalid: %v", err)
+	}
+}
+
+// TestPaperExampleAllVariants runs every engine configuration on the worked
+// example; all must find length 14.
+func TestPaperExampleAllVariants(t *testing.T) {
+	g := gen.PaperExample()
+	sys := procgraph.Ring(3)
+	variants := map[string]Options{
+		"full":        {},
+		"no-pruning":  {Disable: DisableAllPruning},
+		"no-iso":      {Disable: DisableIsomorphism},
+		"no-equiv":    {Disable: DisableEquivalence},
+		"no-ub":       {Disable: DisableUpperBound},
+		"no-order":    {Disable: DisablePriorityOrder},
+		"no-dup":      {Disable: DisableDuplicateCheck},
+		"hplus":       {HFunc: HPlus},
+		"hplus-nopru": {HFunc: HPlus, Disable: DisableAllPruning},
+	}
+	for name, opt := range variants {
+		res, err := Solve(g, sys, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Length != 14 || !res.Optimal {
+			t.Errorf("%s: length=%d optimal=%v, want 14/true", name, res.Length, res.Optimal)
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Errorf("%s: invalid schedule: %v", name, err)
+		}
+	}
+	// Aε* with any ε must stay within the bound; on this instance both
+	// tested ε values actually reach the optimum.
+	for _, eps := range []float64{0.2, 0.5} {
+		res, err := Solve(g, sys, Options{Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(res.Length) > (1+eps)*14 {
+			t.Errorf("eps=%.1f: length %d exceeds bound %.1f", eps, res.Length, (1+eps)*14)
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Errorf("eps=%.1f: invalid schedule: %v", eps, err)
+		}
+	}
+}
+
+// TestPruningReducesWork compares state counts with and without the §3.2
+// prunings on the worked example; the full configuration must expand no more
+// states (the paper's Figure 3 reports 26 generated / 9 expanded with
+// pruning versus >3^6 = 729 exhaustive states).
+func TestPruningReducesWork(t *testing.T) {
+	g := gen.PaperExample()
+	sys := procgraph.Ring(3)
+	full, err := Solve(g, sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := Solve(g, sys, Options{Disable: DisableAllPruning})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.Generated >= bare.Stats.Generated {
+		t.Errorf("pruning did not reduce generated states: full=%d bare=%d",
+			full.Stats.Generated, bare.Stats.Generated)
+	}
+	if full.Stats.Generated > 60 {
+		t.Errorf("full pruning generated %d states; the paper's tree has ~26", full.Stats.Generated)
+	}
+	t.Logf("full: expanded=%d generated=%d; no-pruning: expanded=%d generated=%d",
+		full.Stats.Expanded, full.Stats.Generated, bare.Stats.Expanded, bare.Stats.Generated)
+}

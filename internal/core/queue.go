@@ -1,0 +1,153 @@
+package core
+
+import (
+	"repro/internal/heapx"
+)
+
+// Queue is the OPEN-list abstraction shared by the serial and parallel
+// engines. Implementations hold only incomplete states (goals are captured
+// by the engines as incumbents at generation time).
+type Queue interface {
+	// Push inserts a state.
+	Push(*State)
+	// Pop removes and returns the next state to expand per the queue's
+	// policy, or nil when empty.
+	Pop() *State
+	// MinF returns the minimum f over the queued states; ok is false when
+	// empty. Termination proofs (optimality / ε-admissibility) compare the
+	// incumbent against this value.
+	MinF() (int32, bool)
+	// Len returns the number of queued states.
+	Len() int
+}
+
+// BestFirstQueue is the exact A* OPEN list: Pop returns the minimum-f state
+// (ties prefer deeper states).
+type BestFirstQueue struct {
+	h *heapx.Heap[*State]
+}
+
+// NewBestFirstQueue returns an empty best-first queue.
+func NewBestFirstQueue() *BestFirstQueue {
+	return &BestFirstQueue{h: heapx.NewWithCapacity(Less, 1024)}
+}
+
+// Push inserts a state.
+func (q *BestFirstQueue) Push(s *State) { q.h.Push(s) }
+
+// Pop removes and returns the minimum-f state, or nil when empty.
+func (q *BestFirstQueue) Pop() *State {
+	if q.h.Len() == 0 {
+		return nil
+	}
+	return q.h.Pop()
+}
+
+// MinF returns the minimum f over queued states.
+func (q *BestFirstQueue) MinF() (int32, bool) {
+	if q.h.Len() == 0 {
+		return 0, false
+	}
+	return q.h.Peek().f, true
+}
+
+// Len returns the number of queued states.
+func (q *BestFirstQueue) Len() int { return q.h.Len() }
+
+// FocalQueue is the Aε* OPEN list of §3.4. FOCAL holds the states with
+// f(s') <= (1+ε)·min f(OPEN); Pop returns the FOCAL state preferred by the
+// secondary heuristic (deepest partial schedule). The structure is three
+// lazy heaps: pending (by f, not yet admitted), focal (by the secondary
+// order), and all (by f, with lazy deletion, tracking min f).
+//
+// Lazy deletion is counted, not flagged: the parallel engine's load sharing
+// can legitimately re-Push a pointer that was Popped from this queue
+// earlier (it ping-ponged through another PPE), so `all` may hold several
+// copies of one pointer, some dead and some live. A boolean tombstone would
+// be consumed by whichever copy surfaces first and turn the remaining dead
+// copy into a live "ghost" whose f deflates MinF forever — the multiset
+// count keeps pushes and pops exactly balanced.
+type FocalQueue struct {
+	eps     float64
+	pending *heapx.Heap[*State]
+	focal   *heapx.Heap[*State]
+	all     *heapx.Heap[*State]
+	removed map[*State]int // pops not yet purged from all, per pointer
+}
+
+// NewFocalQueue returns an empty FOCAL queue with the given ε.
+func NewFocalQueue(eps float64) *FocalQueue {
+	return &FocalQueue{
+		eps:     eps,
+		pending: heapx.NewWithCapacity(Less, 1024),
+		focal:   heapx.NewWithCapacity(FocalLess, 1024),
+		all:     heapx.NewWithCapacity(func(a, b *State) bool { return a.f < b.f }, 2048),
+		removed: make(map[*State]int, 1024),
+	}
+}
+
+// Push inserts a state.
+func (q *FocalQueue) Push(s *State) {
+	q.pending.Push(s)
+	q.all.Push(s)
+}
+
+// MinF returns the minimum f over queued states.
+func (q *FocalQueue) MinF() (int32, bool) {
+	for q.all.Len() > 0 && q.removed[q.all.Peek()] > 0 {
+		s := q.all.Pop()
+		if q.removed[s] == 1 {
+			delete(q.removed, s)
+		} else {
+			q.removed[s]--
+		}
+	}
+	if q.all.Len() == 0 {
+		return 0, false
+	}
+	return q.all.Peek().f, true
+}
+
+// Pop returns the deepest state within the FOCAL bound, or nil when empty.
+func (q *FocalQueue) Pop() *State {
+	for {
+		fmin, ok := q.MinF()
+		if !ok {
+			return nil
+		}
+		bound := float64(fmin) * (1 + q.eps)
+		for q.pending.Len() > 0 && float64(q.pending.Peek().f) <= bound {
+			q.focal.Push(q.pending.Pop())
+		}
+		for q.focal.Len() > 0 {
+			s := q.focal.Pop()
+			if float64(s.f) > bound {
+				// Stale: admitted under a larger bound that has since
+				// shrunk (min f decreased); push back for later.
+				q.pending.Push(s)
+				continue
+			}
+			q.removed[s]++
+			return s
+		}
+		// FOCAL drained by stale entries; re-establish the bound. The min-f
+		// state always qualifies, so the migration above will refill FOCAL.
+	}
+}
+
+// Len returns the number of queued states.
+func (q *FocalQueue) Len() int { return q.pending.Len() + q.focal.Len() }
+
+var (
+	_ Queue = (*BestFirstQueue)(nil)
+	_ Queue = (*FocalQueue)(nil)
+)
+
+// NewQueue returns the OPEN list matching opt: a FocalQueue when
+// opt.Epsilon > 0, else a BestFirstQueue.
+func NewQueue(opt Options) Queue {
+	if opt.Epsilon > 0 {
+		return NewFocalQueue(opt.Epsilon)
+	}
+	return NewBestFirstQueue()
+}

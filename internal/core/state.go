@@ -1,0 +1,183 @@
+package core
+
+import (
+	"repro/internal/schedule"
+)
+
+// State is one search state: a partial schedule (§3.1). States are stored as
+// parent-linked deltas — each state records only the single (node, PE,
+// start) assignment that created it — so a state costs O(1) memory and the
+// full partial schedule is materialized by walking the parent chain.
+//
+// A state's identity for duplicate detection is the *set* of its
+// (node, PE, start) triples: two states reached by different interleavings
+// of the same assignments are the same partial schedule and evolve
+// identically. The sig field is an order-independent 64-bit mix of the
+// triples; Visited confirms hash hits exactly.
+type State struct {
+	parent *State
+	sig    uint64
+	mask   uint64 // bit n set iff node n is scheduled
+	g      int32  // max finish time of scheduled nodes
+	h      int32  // admissible estimate of the remaining schedule length
+	f      int32  // g + h
+	node   int32  // node scheduled by this delta (-1 for the root)
+	proc   int32
+	start  int32
+	finish int32
+	depth  int32 // number of scheduled nodes
+}
+
+// F returns the state's cost f = g + h.
+func (s *State) F() int32 { return s.f }
+
+// G returns g(s), the length of the partial schedule.
+func (s *State) G() int32 { return s.g }
+
+// H returns h(s), the estimated remaining schedule length.
+func (s *State) H() int32 { return s.h }
+
+// Depth returns the number of scheduled nodes.
+func (s *State) Depth() int32 { return s.depth }
+
+// Node returns the node this delta scheduled (-1 for the root).
+func (s *State) Node() int32 { return s.node }
+
+// Proc returns the PE this delta's node was assigned to.
+func (s *State) Proc() int32 { return s.proc }
+
+// Start returns the start time of this delta's node.
+func (s *State) Start() int32 { return s.start }
+
+// Finish returns the finish time of this delta's node.
+func (s *State) Finish() int32 { return s.finish }
+
+// Parent returns the predecessor state (nil for the root).
+func (s *State) Parent() *State { return s.parent }
+
+// Sig returns the order-independent 64-bit signature of the partial
+// schedule, used for duplicate detection and for hash-based state-space
+// partitioning across PPEs (Mahapatra & Dutt style, the paper's ref. [15]).
+func (s *State) Sig() uint64 { return s.sig }
+
+// Complete reports whether the state schedules all v nodes of the model.
+func (s *State) Complete(m *Model) bool { return int(s.depth) == m.V }
+
+// Root returns the initial empty state Φ with f(Φ) = 0.
+func Root() *State { return &State{node: -1, proc: -1} }
+
+// Less is the OPEN-list ordering of the exact A* search: smaller f first;
+// ties prefer larger g (deeper, more complete partial schedules — the
+// standard A* tie-break that reaches goals sooner), then the signature for
+// determinism.
+func Less(a, b *State) bool {
+	if a.f != b.f {
+		return a.f < b.f
+	}
+	if a.depth != b.depth {
+		return a.depth > b.depth
+	}
+	if a.g != b.g {
+		return a.g > b.g
+	}
+	return a.sig < b.sig
+}
+
+// FocalLess is the FOCAL-list ordering of the Aε* search (§3.4): the
+// secondary heuristic prefers the deepest states (most scheduled nodes),
+// driving the search toward complete schedules quickly; ties fall back to
+// smaller f.
+func FocalLess(a, b *State) bool {
+	if a.depth != b.depth {
+		return a.depth > b.depth
+	}
+	if a.f != b.f {
+		return a.f < b.f
+	}
+	return a.sig < b.sig
+}
+
+// sigMix hashes one (node, proc, start) assignment; XOR-combining these per
+// assignment yields the order-independent state signature.
+func sigMix(node, proc, start int32) uint64 {
+	x := uint64(uint32(node))*0x9E3779B97F4A7C15 ^
+		uint64(uint32(proc))*0xC2B2AE3D27D4EB4F ^
+		uint64(uint32(start))*0x165667B19E3779F9
+	// splitmix64 finalizer
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// sameAssignment reports whether two states with equal signatures and masks
+// really denote the same partial schedule, by exact comparison of their
+// (node, proc, start) sets. Quadratic in depth, but only runs on 64-bit
+// hash agreement.
+func sameAssignment(a, b *State) bool {
+	if a.mask != b.mask || a.depth != b.depth || a.g != b.g {
+		return false
+	}
+	for sa := a; sa != nil && sa.node >= 0; sa = sa.parent {
+		found := false
+		for sb := b; sb != nil && sb.node >= 0; sb = sb.parent {
+			if sb.node == sa.node {
+				found = sb.proc == sa.proc && sb.start == sa.start
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// ScheduleOf materializes the complete schedule a goal state represents.
+func (m *Model) ScheduleOf(s *State) *schedule.Schedule {
+	place := make([]schedule.Placement, m.V)
+	for cur := s; cur != nil && cur.node >= 0; cur = cur.parent {
+		place[cur.node] = schedule.Placement{Proc: cur.proc, Start: cur.start, Finish: cur.finish}
+	}
+	return schedule.New(m.G, m.Sys, place)
+}
+
+// Visited is the duplicate-state table (the OPEN ∪ CLOSED membership test of
+// §3.1). Keys are state signatures; hash hits are verified exactly so two
+// different partial schedules are never merged.
+type Visited struct {
+	buckets    map[uint64][]*State
+	Hits       int64 // duplicate states rejected
+	Collisions int64 // 64-bit hash collisions that exact comparison caught
+}
+
+// NewVisited returns an empty table.
+func NewVisited() *Visited {
+	return &Visited{buckets: make(map[uint64][]*State, 1024)}
+}
+
+// Add inserts s unless an identical partial schedule is already present; it
+// reports whether s was new.
+func (vt *Visited) Add(s *State) bool {
+	bucket := vt.buckets[s.sig]
+	for _, t := range bucket {
+		if sameAssignment(s, t) {
+			vt.Hits++
+			return false
+		}
+		vt.Collisions++
+	}
+	vt.buckets[s.sig] = append(bucket, s)
+	return true
+}
+
+// Len returns the number of distinct states recorded.
+func (vt *Visited) Len() int {
+	n := 0
+	for _, b := range vt.buckets {
+		n += len(b)
+	}
+	return n
+}

@@ -1,0 +1,234 @@
+// Package dfbb implements two memory-light optimal scheduling engines on
+// top of the core search machinery: depth-first branch-and-bound (DFBB) and
+// iterative-deepening A* (IDA*).
+//
+// The paper motivates them directly: §1 notes that for state-space
+// schedulers "a huge memory requirement to store the search states is also
+// another common problem" — the A* OPEN/CLOSED lists of §3.1 grow with the
+// number of generated states, while the engines here keep only the DFS
+// spine (O(v) states, v = task count) plus, optionally for DFBB, a
+// duplicate table traded back in for speed. Both use the identical state
+// space, expansion operator, admissible cost function f = g + h, and §3.2
+// prunings of the A* engine (via core.Expander), so their optima coincide
+// with A*'s — asserted by the cross-check tests — and they slot into the
+// same Result/Stats reporting.
+//
+// DFBB explores children best-f-first and prunes against a falling
+// incumbent, seeded with the §3.2 list-scheduling upper bound U: a branch
+// with f >= incumbent cannot improve on a complete schedule already in
+// hand. If the search exhausts without ever beating U, the U schedule
+// itself is returned, proven optimal.
+//
+// IDA* runs successive depth-first passes bounded by an f threshold,
+// raising the threshold each pass to the smallest f that exceeded it. The
+// pass in which the incumbent's length no longer exceeds the next threshold
+// proves optimality. Thresholds strictly increase, so termination is
+// guaranteed even though no visited table is kept at all.
+package dfbb
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/procgraph"
+	"repro/internal/taskgraph"
+)
+
+// Options configures the depth-first engines.
+type Options struct {
+	// Disable switches off §3.2 prunings, as in the serial A* engine.
+	Disable core.Disable
+	// HFunc selects the heuristic function (default: the paper's).
+	HFunc core.HFunc
+	// UpperBound, when > 0, overrides the list-scheduling upper bound U.
+	UpperBound int32
+	// UseVisited enables the full duplicate-state table (DFBB only):
+	// memory proportional to the states generated, bought back as time —
+	// the inverse of the engines' usual trade. IDA* ignores it.
+	UseVisited bool
+	// MaxExpanded, when > 0, aborts after that many expansions and returns
+	// the incumbent (Optimal=false).
+	MaxExpanded int64
+	// Deadline, when set, aborts the search at that time likewise.
+	Deadline time.Time
+}
+
+const inf = int32(1) << 30
+
+// Solve runs depth-first branch-and-bound and returns a provably optimal
+// schedule (unless a cutoff fires, in which case the best incumbent is
+// returned with Optimal=false).
+func Solve(g *taskgraph.Graph, sys *procgraph.System, opt Options) (*core.Result, error) {
+	m, err := core.NewModel(g, sys)
+	if err != nil {
+		return nil, err
+	}
+	return SolveModel(m, opt)
+}
+
+// SolveModel is Solve for a prebuilt model.
+func SolveModel(m *core.Model, opt Options) (*core.Result, error) {
+	d, fallback, err := newSearcher(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	started := time.Now()
+	if opt.UseVisited {
+		d.visited = core.NewVisited()
+	}
+	d.dfs(core.Root(), 1)
+	if d.visited != nil {
+		d.stats.VisitedSize = d.visited.Len()
+	}
+	return d.result(fallback, started), nil
+}
+
+// searcher holds the mutable search state shared by DFBB and IDA*.
+type searcher struct {
+	m       *core.Model
+	exp     *core.Expander
+	visited *core.Visited
+	stats   core.Stats
+
+	// incumbent is the best complete state found; incumbentLen its length,
+	// initialized to the upper bound U (with no state) so the bound prunes
+	// from the first expansion.
+	incumbent    *core.State
+	incumbentLen int32
+
+	// IDA* pass bookkeeping.
+	threshold  int32
+	nextThresh int32
+
+	maxExpanded int64
+	deadline    time.Time
+	stopped     bool
+
+	children []*core.State // reusable collection buffer
+}
+
+func newSearcher(m *core.Model, opt Options) (*searcher, *core.Result, error) {
+	d := &searcher{
+		m:            m,
+		incumbentLen: inf,
+		threshold:    inf, // DFBB: no pass bound
+		nextThresh:   inf,
+		maxExpanded:  opt.MaxExpanded,
+		deadline:     opt.Deadline,
+	}
+	ub, fallbackSched, err := core.ResolveUpperBound(m, core.Options{
+		Disable:    opt.Disable,
+		UpperBound: opt.UpperBound,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if ub > 0 {
+		d.incumbentLen = ub
+	}
+	d.stats.UpperBound = ub
+	d.stats.StaticLB = m.StaticLowerBound()
+	d.exp = m.NewExpander(core.Options{Disable: opt.Disable, HFunc: opt.HFunc}, &d.stats)
+	// The incumbent bound subsumes the static U prune (it starts at U), so
+	// the expander's separate UB check stays off and all pruning is counted
+	// under PrunedBound.
+	d.exp.Bound = func() int32 {
+		if d.incumbentLen == inf {
+			return 0
+		}
+		return d.incumbentLen
+	}
+	fb := &core.Result{Schedule: fallbackSched}
+	if fallbackSched != nil {
+		fb.Length = fallbackSched.Length
+	}
+	return d, fb, nil
+}
+
+// cut reports whether a cutoff has fired (and latches it).
+func (d *searcher) cut() bool {
+	if d.stopped {
+		return true
+	}
+	if d.maxExpanded > 0 && d.stats.Expanded >= d.maxExpanded {
+		d.stopped = true
+		return true
+	}
+	if !d.deadline.IsZero() && d.stats.Expanded%512 == 0 && time.Now().After(d.deadline) {
+		d.stopped = true
+		return true
+	}
+	return false
+}
+
+// dfs explores the subtree under s depth-first, best-f-first, pruning
+// against the incumbent (and, for IDA* passes, the threshold). depth is the
+// recursion depth, tracked as the MaxOpen analog (peak retained states).
+func (d *searcher) dfs(s *core.State, depth int) {
+	if d.cut() {
+		return
+	}
+	if depth > d.stats.MaxOpen {
+		d.stats.MaxOpen = depth
+	}
+
+	// Collect children into a private slice: the expander emits into
+	// d.children, which the recursion below would otherwise clobber.
+	base := len(d.children)
+	d.exp.Expand(s, d.visited, func(c *core.State) {
+		d.children = append(d.children, c)
+	})
+	kids := d.children[base:]
+	sort.Slice(kids, func(i, j int) bool { return core.Less(kids[i], kids[j]) })
+
+	for i := range kids {
+		c := kids[i]
+		if c.Complete(d.m) {
+			if c.F() < d.incumbentLen {
+				d.incumbent, d.incumbentLen = c, c.F()
+			}
+			continue
+		}
+		// Re-check against the bound: the incumbent may have tightened
+		// since this child was generated (the expander checked at
+		// generation time only).
+		if d.incumbentLen < inf && c.F() >= d.incumbentLen {
+			d.stats.PrunedBound++
+			continue
+		}
+		if c.F() > d.threshold {
+			// IDA*: beyond this pass's contour; remember the closest f for
+			// the next threshold.
+			if c.F() < d.nextThresh {
+				d.nextThresh = c.F()
+			}
+			continue
+		}
+		d.dfs(c, depth+1)
+	}
+	d.children = d.children[:base]
+}
+
+// result assembles the engine outcome: the incumbent when one was found, or
+// the list-scheduling fallback otherwise (which, when the search exhausted
+// without beating U, is itself proven optimal).
+func (d *searcher) result(fallback *core.Result, started time.Time) *core.Result {
+	res := &core.Result{Stats: d.stats}
+	switch {
+	case d.incumbent != nil:
+		res.Schedule = d.m.ScheduleOf(d.incumbent)
+		res.Length = d.incumbent.F()
+	default:
+		res.Schedule = fallback.Schedule
+		res.Length = fallback.Length
+	}
+	if !d.stopped && res.Schedule != nil {
+		// Exhausted: nothing with f < incumbentLen remains, so the returned
+		// schedule (incumbent or the U-length fallback) is optimal.
+		res.Optimal = true
+		res.BoundFactor = 1
+	}
+	res.Stats.WallTime = time.Since(started)
+	return res
+}

@@ -1,0 +1,202 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestRandomIsDAGAndDeterministic: generation is reproducible for a seed and
+// always yields a valid DAG (Build enforces acyclicity).
+func TestRandomIsDAGAndDeterministic(t *testing.T) {
+	f := func(seed uint64, vRaw uint8, ccrSel uint8) bool {
+		v := 2 + int(vRaw%40)
+		ccr := []float64{0.1, 1.0, 10.0}[ccrSel%3]
+		a, err := Random(RandomConfig{V: v, CCR: ccr, Seed: seed})
+		if err != nil {
+			return false
+		}
+		b, err := Random(RandomConfig{V: v, CCR: ccr, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if a.NumNodes() != v || a.NumEdges() != b.NumEdges() {
+			return false
+		}
+		ae, be := a.Edges(), b.Edges()
+		for i := range ae {
+			if ae[i] != be[i] {
+				return false
+			}
+		}
+		// Edges only point forward (construction guarantees a DAG).
+		for _, e := range ae {
+			if e.From >= e.To {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomDistributions: mean computation cost and CCR land near the §4.1
+// targets over a large sample.
+func TestRandomDistributions(t *testing.T) {
+	g := MustRandom(RandomConfig{V: 4000, CCR: 1.0, Seed: 42, MeanOutDeg: 3})
+	meanComp := float64(g.TotalWork()) / float64(g.NumNodes())
+	if meanComp < 36 || meanComp > 44 {
+		t.Errorf("mean computation cost %.1f outside [36, 44]", meanComp)
+	}
+	ccr := g.CCR()
+	if ccr < 0.9 || ccr > 1.1 {
+		t.Errorf("CCR %.2f outside [0.9, 1.1]", ccr)
+	}
+	deg := float64(g.NumEdges()) / float64(g.NumNodes())
+	if deg < 2.5 || deg > 3.5 {
+		t.Errorf("mean out-degree %.2f outside [2.5, 3.5]", deg)
+	}
+}
+
+// TestRandomCCRScales: generated CCR tracks the requested CCR across the
+// paper's three settings.
+func TestRandomCCRScales(t *testing.T) {
+	for _, want := range []float64{0.1, 1.0, 10.0} {
+		g := MustRandom(RandomConfig{V: 3000, CCR: want, Seed: 7, MeanOutDeg: 3})
+		got := g.CCR()
+		if got < want*0.8 || got > want*1.2 {
+			t.Errorf("requested CCR %g, generated %.3f", want, got)
+		}
+	}
+}
+
+// TestPaperSuite: the §4.1 suite has one graph per size with the right
+// parameters.
+func TestPaperSuite(t *testing.T) {
+	sizes := PaperSizes()
+	if len(sizes) != 12 || sizes[0] != 10 || sizes[11] != 32 {
+		t.Fatalf("paper sizes = %v", sizes)
+	}
+	suite := PaperSuite(1.0, sizes, 1)
+	if len(suite) != 12 {
+		t.Fatalf("suite has %d graphs", len(suite))
+	}
+	for i, g := range suite {
+		if g.NumNodes() != sizes[i] {
+			t.Errorf("suite[%d] has %d nodes, want %d", i, g.NumNodes(), sizes[i])
+		}
+	}
+	if len(PaperCCRs()) != 3 {
+		t.Errorf("paper CCRs = %v", PaperCCRs())
+	}
+}
+
+func TestRandomErrors(t *testing.T) {
+	if _, err := Random(RandomConfig{V: 0}); err == nil {
+		t.Error("V=0 should fail")
+	}
+}
+
+// TestPaperExampleShape re-checks the canned Figure 1 DAG shape.
+func TestPaperExampleShape(t *testing.T) {
+	g := PaperExample()
+	if g.NumNodes() != 6 || g.NumEdges() != 7 {
+		t.Fatalf("paper example: v=%d e=%d, want 6/7", g.NumNodes(), g.NumEdges())
+	}
+	if c, ok := g.EdgeCost(3, 5); !ok || c != 4 {
+		t.Errorf("edge n4->n6 = %d,%v; want 4 (forced by b-level table)", c, ok)
+	}
+	if g.Label(0) != "n1" || g.Label(5) != "n6" {
+		t.Errorf("labels wrong: %s %s", g.Label(0), g.Label(5))
+	}
+}
+
+func TestGaussianElimination(t *testing.T) {
+	g, err := GaussianElimination(5, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steps k=0..3 contribute (n-k) tasks each: 5+4+3+2 = 14.
+	if g.NumNodes() != 14 {
+		t.Errorf("gauss-5 has %d nodes, want 14", g.NumNodes())
+	}
+	if len(g.EntryNodes()) != 1 {
+		t.Errorf("gauss should have a single entry (first pivot), got %v", g.EntryNodes())
+	}
+	if _, err := GaussianElimination(1, 1, 1); err == nil {
+		t.Error("n=1 should fail")
+	}
+}
+
+func TestFFT(t *testing.T) {
+	g, err := FFT(8, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 inputs + 3 stages of 8 = 32 nodes; each stage node has 2 parents.
+	if g.NumNodes() != 32 {
+		t.Errorf("fft-8 has %d nodes, want 32", g.NumNodes())
+	}
+	if g.NumEdges() != 48 {
+		t.Errorf("fft-8 has %d edges, want 48", g.NumEdges())
+	}
+	if _, err := FFT(6, 1, 1); err == nil {
+		t.Error("non-power-of-two should fail")
+	}
+}
+
+func TestForkJoinTreesWavefront(t *testing.T) {
+	fj, err := ForkJoin(3, 2, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fj.NumNodes() != 3*2+2 {
+		t.Errorf("fork-join nodes = %d, want 8", fj.NumNodes())
+	}
+	if len(fj.EntryNodes()) != 1 || len(fj.ExitNodes()) != 1 {
+		t.Error("fork-join must have single entry and exit")
+	}
+
+	ot, err := OutTree(2, 3, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ot.NumNodes() != 15 {
+		t.Errorf("out-tree(2,3) nodes = %d, want 15", ot.NumNodes())
+	}
+	it, err := InTree(2, 3, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.NumNodes() != 15 || len(it.ExitNodes()) != 1 {
+		t.Errorf("in-tree(2,3) shape wrong: v=%d exits=%v", it.NumNodes(), it.ExitNodes())
+	}
+
+	wf, err := Wavefront(4, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.NumNodes() != 16 || wf.NumEdges() != 2*4*3 {
+		t.Errorf("wavefront-4: v=%d e=%d, want 16/24", wf.NumNodes(), wf.NumEdges())
+	}
+}
+
+func TestLayered(t *testing.T) {
+	g, err := Layered(LayeredConfig{Layers: 4, Width: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 20 {
+		t.Errorf("layered nodes = %d", g.NumNodes())
+	}
+	// Every non-final-layer node must have at least one child.
+	for n := 0; n < 15; n++ {
+		if g.OutDegree(int32(n)) == 0 {
+			t.Errorf("layer node %d has no children", n)
+		}
+	}
+	if _, err := Layered(LayeredConfig{Layers: 0, Width: 1}); err == nil {
+		t.Error("zero layers should fail")
+	}
+}

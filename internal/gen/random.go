@@ -1,0 +1,196 @@
+// Package gen produces the task-graph workloads of the paper's evaluation
+// (§4.1) plus a set of classic structured application DAGs (Gaussian
+// elimination, FFT, fork-join, trees, wavefront) used by the examples and
+// extended benchmarks. All generators are deterministic given a seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/taskgraph"
+)
+
+// RandomConfig parameterizes the §4.1 random-graph model:
+//
+//   - node computation costs drawn uniformly with mean MeanComp,
+//   - out-degrees drawn uniformly with mean MeanOutDeg (default V/10, so
+//     connectivity grows with graph size as in the paper),
+//   - children chosen uniformly among higher-numbered nodes (guaranteeing a
+//     DAG),
+//   - edge communication costs drawn uniformly with mean MeanComp * CCR.
+type RandomConfig struct {
+	V          int     // number of nodes (required, >= 1)
+	MeanComp   int32   // mean computation cost; default 40 (paper)
+	CCR        float64 // communication-to-computation ratio; default 1.0
+	MeanOutDeg float64 // mean out-degree; default V/10 (paper)
+	Seed       uint64  // RNG seed
+	Name       string  // graph name; default derived from parameters
+}
+
+func (c RandomConfig) withDefaults() RandomConfig {
+	if c.MeanComp == 0 {
+		c.MeanComp = 40
+	}
+	if c.CCR == 0 {
+		c.CCR = 1.0
+	}
+	if c.MeanOutDeg == 0 {
+		c.MeanOutDeg = float64(c.V) / 10.0
+	}
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("random-v%d-ccr%g-seed%d", c.V, c.CCR, c.Seed)
+	}
+	return c
+}
+
+// uniformMean draws a uniform integer in [1, 2*mean-1], whose expectation is
+// mean. For mean < 1 it returns 1.
+func uniformMean(rng *rand.Rand, mean float64) int32 {
+	hi := int64(2*mean) - 1
+	if hi < 1 {
+		return 1
+	}
+	return int32(1 + rng.Int64N(hi))
+}
+
+// uniformMeanZero draws a uniform integer in [0, 2*mean], whose expectation
+// is mean; used for out-degrees, which may be zero.
+func uniformMeanZero(rng *rand.Rand, mean float64) int {
+	hi := int64(2 * mean)
+	if hi < 0 {
+		return 0
+	}
+	return int(rng.Int64N(hi + 1))
+}
+
+// Random generates one task graph per the §4.1 model.
+func Random(cfg RandomConfig) (*taskgraph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if cfg.V < 1 {
+		return nil, fmt.Errorf("gen: random graph needs V >= 1, got %d", cfg.V)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x9E3779B97F4A7C15))
+	b := taskgraph.NewBuilder(cfg.Name)
+	for i := 0; i < cfg.V; i++ {
+		b.AddNode(uniformMean(rng, float64(cfg.MeanComp)))
+	}
+	meanComm := float64(cfg.MeanComp) * cfg.CCR
+	for i := 0; i < cfg.V; i++ {
+		later := cfg.V - i - 1
+		if later == 0 {
+			continue
+		}
+		d := uniformMeanZero(rng, cfg.MeanOutDeg)
+		if d > later {
+			d = later
+		}
+		// Choose d distinct targets among the later nodes via a partial
+		// Fisher-Yates shuffle.
+		targets := make([]int32, later)
+		for k := range targets {
+			targets[k] = int32(i + 1 + k)
+		}
+		for k := 0; k < d; k++ {
+			j := k + int(rng.Int64N(int64(later-k)))
+			targets[k], targets[j] = targets[j], targets[k]
+			b.AddEdge(int32(i), targets[k], uniformMean(rng, meanComm))
+		}
+	}
+	return b.Build()
+}
+
+// MustRandom is Random that panics on error (configs built from constants).
+func MustRandom(cfg RandomConfig) *taskgraph.Graph {
+	g, err := Random(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// PaperSuite returns the experiment workload of §4.1: for the given CCR, one
+// graph per size in sizes (the paper uses 10, 12, ..., 32). The seed stream
+// is derived from the suite seed and the size so individual cells are
+// reproducible in isolation.
+func PaperSuite(ccr float64, sizes []int, seed uint64) []*taskgraph.Graph {
+	out := make([]*taskgraph.Graph, 0, len(sizes))
+	for _, v := range sizes {
+		out = append(out, MustRandom(RandomConfig{
+			V:    v,
+			CCR:  ccr,
+			Seed: seed ^ (uint64(v) * 0xBF58476D1CE4E5B9),
+			Name: fmt.Sprintf("paper-v%d-ccr%g", v, ccr),
+		}))
+	}
+	return out
+}
+
+// PaperSizes returns the node counts used throughout §4: 10, 12, ..., 32.
+func PaperSizes() []int {
+	var s []int
+	for v := 10; v <= 32; v += 2 {
+		s = append(s, v)
+	}
+	return s
+}
+
+// PaperCCRs returns the three CCR values of §4.1.
+func PaperCCRs() []float64 { return []float64{0.1, 1.0, 10.0} }
+
+// LayeredConfig parameterizes a layer-structured random DAG: nodes arranged
+// in layers, edges only between consecutive layers with probability EdgeProb.
+type LayeredConfig struct {
+	Layers   int
+	Width    int
+	EdgeProb float64 // default 0.5
+	MeanComp int32   // default 40
+	CCR      float64 // default 1.0
+	Seed     uint64
+	Name     string
+}
+
+// Layered generates a layered random DAG, a common workload for list
+// scheduling studies; extra entry/exit edges guarantee weak connectivity of
+// consecutive layers.
+func Layered(cfg LayeredConfig) (*taskgraph.Graph, error) {
+	if cfg.Layers < 1 || cfg.Width < 1 {
+		return nil, fmt.Errorf("gen: layered graph needs Layers, Width >= 1")
+	}
+	if cfg.EdgeProb == 0 {
+		cfg.EdgeProb = 0.5
+	}
+	if cfg.MeanComp == 0 {
+		cfg.MeanComp = 40
+	}
+	if cfg.CCR == 0 {
+		cfg.CCR = 1.0
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("layered-%dx%d-seed%d", cfg.Layers, cfg.Width, cfg.Seed)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xD1B54A32D192ED03))
+	b := taskgraph.NewBuilder(cfg.Name)
+	id := func(l, i int) int32 { return int32(l*cfg.Width + i) }
+	for l := 0; l < cfg.Layers; l++ {
+		for i := 0; i < cfg.Width; i++ {
+			b.AddNode(uniformMean(rng, float64(cfg.MeanComp)))
+		}
+	}
+	meanComm := float64(cfg.MeanComp) * cfg.CCR
+	for l := 0; l+1 < cfg.Layers; l++ {
+		for i := 0; i < cfg.Width; i++ {
+			linked := false
+			for j := 0; j < cfg.Width; j++ {
+				if rng.Float64() < cfg.EdgeProb {
+					b.AddEdge(id(l, i), id(l+1, j), uniformMean(rng, meanComm))
+					linked = true
+				}
+			}
+			if !linked {
+				b.AddEdge(id(l, i), id(l+1, int(rng.Int64N(int64(cfg.Width)))), uniformMean(rng, meanComm))
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,190 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/taskgraph"
+)
+
+// PaperExample returns the 6-node DAG of the paper's Figure 1(a). Edge costs
+// were reconstructed from the sl/b-level/t-level table of Figure 2 (the
+// n4->n6 cost of 4 is forced by b-level(n4) = 10). Scheduled on the
+// 3-processor ring of Figure 1(b), its optimal schedule length is 14
+// (Figure 4).
+func PaperExample() *taskgraph.Graph {
+	b := taskgraph.NewBuilder("kwok-ahmad-fig1")
+	n1 := b.AddLabeledNode(2, "n1")
+	n2 := b.AddLabeledNode(3, "n2")
+	n3 := b.AddLabeledNode(3, "n3")
+	n4 := b.AddLabeledNode(4, "n4")
+	n5 := b.AddLabeledNode(5, "n5")
+	n6 := b.AddLabeledNode(2, "n6")
+	b.AddEdge(n1, n2, 1)
+	b.AddEdge(n1, n3, 1)
+	b.AddEdge(n1, n4, 2)
+	b.AddEdge(n2, n5, 1)
+	b.AddEdge(n3, n5, 1)
+	b.AddEdge(n4, n6, 4)
+	b.AddEdge(n5, n6, 5)
+	return b.MustBuild()
+}
+
+// GaussianElimination returns the task graph of column-oriented Gaussian
+// elimination on an n x n matrix: for each step k there is a pivot task
+// T(k,k) followed by update tasks T(k,j) for j > k; T(k,j) depends on the
+// pivot of step k and on the update T(k-1,j) of the previous step. compCost
+// and commCost scale the node and edge weights.
+func GaussianElimination(n int, compCost, commCost int32) (*taskgraph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: gaussian elimination needs n >= 2, got %d", n)
+	}
+	b := taskgraph.NewBuilder(fmt.Sprintf("gauss-%d", n))
+	// ids[k][j] for k in [0, n-1), j in [k, n): j == k is the pivot.
+	ids := make([][]int32, n-1)
+	for k := 0; k < n-1; k++ {
+		ids[k] = make([]int32, n)
+		for j := k; j < n; j++ {
+			w := compCost
+			if j == k {
+				w = compCost * 2 // pivot: find max + normalize column
+			}
+			ids[k][j] = b.AddLabeledNode(w, fmt.Sprintf("T%d_%d", k, j))
+		}
+	}
+	for k := 0; k < n-1; k++ {
+		for j := k + 1; j < n; j++ {
+			b.AddEdge(ids[k][k], ids[k][j], commCost) // pivot feeds each update
+			if k+1 < n-1 {
+				// Update feeds the next step's task in the same column; for
+				// j == k+1 that is the next pivot.
+				b.AddEdge(ids[k][j], ids[k+1][j], commCost)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// FFT returns the butterfly task graph of an m-point fast Fourier transform
+// (m must be a power of two): log2(m) ranks of m nodes, each node with two
+// parents in the previous rank, preceded by a rank of input tasks.
+func FFT(m int, compCost, commCost int32) (*taskgraph.Graph, error) {
+	if m < 2 || m&(m-1) != 0 {
+		return nil, fmt.Errorf("gen: FFT size must be a power of two >= 2, got %d", m)
+	}
+	stages := 0
+	for s := m; s > 1; s >>= 1 {
+		stages++
+	}
+	b := taskgraph.NewBuilder(fmt.Sprintf("fft-%d", m))
+	prev := make([]int32, m)
+	for i := 0; i < m; i++ {
+		prev[i] = b.AddLabeledNode(compCost, fmt.Sprintf("in%d", i))
+	}
+	for s := 0; s < stages; s++ {
+		cur := make([]int32, m)
+		span := m >> (s + 1)
+		for i := 0; i < m; i++ {
+			cur[i] = b.AddLabeledNode(compCost, fmt.Sprintf("s%d_%d", s, i))
+		}
+		for i := 0; i < m; i++ {
+			partner := i ^ span
+			b.AddEdge(prev[i], cur[i], commCost)
+			b.AddEdge(prev[partner], cur[i], commCost)
+		}
+		prev = cur
+	}
+	return b.Build()
+}
+
+// ForkJoin returns a fork-join graph: a source task forks width parallel
+// chains of the given depth which join into a sink task.
+func ForkJoin(width, depth int, compCost, commCost int32) (*taskgraph.Graph, error) {
+	if width < 1 || depth < 1 {
+		return nil, fmt.Errorf("gen: fork-join needs width, depth >= 1")
+	}
+	b := taskgraph.NewBuilder(fmt.Sprintf("forkjoin-%dx%d", width, depth))
+	src := b.AddLabeledNode(compCost, "fork")
+	sink := int32(-1)
+	lasts := make([]int32, width)
+	for wi := 0; wi < width; wi++ {
+		prev := src
+		for d := 0; d < depth; d++ {
+			n := b.AddLabeledNode(compCost, fmt.Sprintf("c%d_%d", wi, d))
+			b.AddEdge(prev, n, commCost)
+			prev = n
+		}
+		lasts[wi] = prev
+	}
+	sink = b.AddLabeledNode(compCost, "join")
+	for _, l := range lasts {
+		b.AddEdge(l, sink, commCost)
+	}
+	return b.Build()
+}
+
+// OutTree returns a complete out-tree (divide) of the given branching factor
+// and depth; depth 0 is a single root.
+func OutTree(branch, depth int, compCost, commCost int32) (*taskgraph.Graph, error) {
+	if branch < 1 || depth < 0 {
+		return nil, fmt.Errorf("gen: out-tree needs branch >= 1, depth >= 0")
+	}
+	b := taskgraph.NewBuilder(fmt.Sprintf("outtree-b%d-d%d", branch, depth))
+	root := b.AddNode(compCost)
+	frontier := []int32{root}
+	for d := 0; d < depth; d++ {
+		var next []int32
+		for _, p := range frontier {
+			for k := 0; k < branch; k++ {
+				c := b.AddNode(compCost)
+				b.AddEdge(p, c, commCost)
+				next = append(next, c)
+			}
+		}
+		frontier = next
+	}
+	return b.Build()
+}
+
+// InTree returns a complete in-tree (reduce): the mirror of OutTree.
+func InTree(branch, depth int, compCost, commCost int32) (*taskgraph.Graph, error) {
+	out, err := OutTree(branch, depth, compCost, commCost)
+	if err != nil {
+		return nil, err
+	}
+	// Reverse every edge.
+	b := taskgraph.NewBuilder(fmt.Sprintf("intree-b%d-d%d", branch, depth))
+	for n := 0; n < out.NumNodes(); n++ {
+		b.AddNode(out.Weight(int32(n)))
+	}
+	for _, e := range out.Edges() {
+		b.AddEdge(e.To, e.From, e.Cost)
+	}
+	return b.Build()
+}
+
+// Wavefront returns an n x n diamond/stencil DAG: task (i, j) depends on
+// (i-1, j) and (i, j-1), the dependence structure of dynamic-programming and
+// Laplace-solver sweeps.
+func Wavefront(n int, compCost, commCost int32) (*taskgraph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: wavefront needs n >= 1, got %d", n)
+	}
+	b := taskgraph.NewBuilder(fmt.Sprintf("wavefront-%d", n))
+	id := func(i, j int) int32 { return int32(i*n + j) }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.AddLabeledNode(compCost, fmt.Sprintf("w%d_%d", i, j))
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+1 < n {
+				b.AddEdge(id(i, j), id(i+1, j), commCost)
+			}
+			if j+1 < n {
+				b.AddEdge(id(i, j), id(i, j+1), commCost)
+			}
+		}
+	}
+	return b.Build()
+}

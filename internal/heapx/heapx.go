@@ -1,0 +1,101 @@
+// Package heapx provides a small generic binary min-heap used for the OPEN,
+// FOCAL, and pending lists of the search engines. It is a plain slice-based
+// heap (no container/heap interface indirection) because heap operations sit
+// on the hot path of every state expansion.
+package heapx
+
+// Heap is a binary min-heap ordered by the less function supplied at
+// construction.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// New returns an empty heap with the given ordering.
+func New[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// NewWithCapacity returns an empty heap with preallocated storage.
+func NewWithCapacity[T any](less func(a, b T) bool, capacity int) *Heap[T] {
+	return &Heap[T]{less: less, items: make([]T, 0, capacity)}
+}
+
+// Len returns the number of elements.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push inserts an element.
+func (h *Heap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the minimum element without removing it. It panics on an
+// empty heap; check Len first.
+func (h *Heap[T]) Peek() T { return h.items[0] }
+
+// Pop removes and returns the minimum element. It panics on an empty heap.
+func (h *Heap[T]) Pop() T {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero // release reference for GC
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Clear removes all elements, keeping the underlying storage.
+func (h *Heap[T]) Clear() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero
+	}
+	h.items = h.items[:0]
+}
+
+// Drain pops every element in heap order into a new slice.
+func (h *Heap[T]) Drain() []T {
+	out := make([]T, 0, len(h.items))
+	for h.Len() > 0 {
+		out = append(out, h.Pop())
+	}
+	return out
+}
+
+// Items exposes the raw backing slice in heap (not sorted) order; used for
+// load-balancing scans. The caller must not reorder it.
+func (h *Heap[T]) Items() []T { return h.items }
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,255 @@
+package listsched
+
+import (
+	"fmt"
+
+	"repro/internal/procgraph"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+)
+
+// This file adds the classic dynamic list-scheduling heuristics — ETF, MCP
+// and DLS — alongside the static-priority scheduler the paper uses for its
+// upper bound. The paper's introduction motivates optimal schedulers partly
+// as a yardstick: "in the absence of optimal solutions as a reference, the
+// average performance deviation of these heuristics is unknown". These
+// implementations supply the heuristic side of that comparison (see the
+// heuristics example and the deviation experiment in internal/bench).
+
+// ETF implements Earliest Task First (Hwang, Chow, Anger & Lee): at every
+// step, over all (ready node, processor) pairs, schedule the pair with the
+// earliest start time; ties prefer the larger b-level, then the smaller
+// node id, then the smaller PE id. O(v · p · width) time.
+func ETF(g *taskgraph.Graph, sys *procgraph.System) (*schedule.Schedule, error) {
+	v, p := g.NumNodes(), sys.NumProcs()
+	if v == 0 || p == 0 {
+		return nil, fmt.Errorf("listsched: empty graph or system")
+	}
+	bl := g.BLevels()
+	st := newDynState(g, sys)
+	for scheduled := 0; scheduled < v; scheduled++ {
+		bestN, bestP := int32(-1), -1
+		var bestStart int32
+		for _, n := range st.ready {
+			for pe := 0; pe < p; pe++ {
+				s := st.est(n, pe)
+				better := bestN < 0 || s < bestStart
+				if !better && s == bestStart {
+					better = bl[n] > bl[bestN] ||
+						(bl[n] == bl[bestN] && (n < bestN || (n == bestN && pe < bestP)))
+				}
+				if better {
+					bestN, bestP, bestStart = n, pe, s
+				}
+			}
+		}
+		st.place(bestN, bestP, bestStart)
+	}
+	return schedule.New(g, sys, st.placements), nil
+}
+
+// MCP implements the Modified Critical Path heuristic (Wu & Gajski): tasks
+// are listed by increasing ALAP time (latest possible start that does not
+// stretch the critical path; ties by node id — the original compares whole
+// successor-ALAP lists, a refinement that changes few placements), then
+// each is placed on the processor allowing its earliest start time, with
+// insertion into idle gaps.
+func MCP(g *taskgraph.Graph, sys *procgraph.System) (*schedule.Schedule, error) {
+	v, p := g.NumNodes(), sys.NumProcs()
+	if v == 0 || p == 0 {
+		return nil, fmt.Errorf("listsched: empty graph or system")
+	}
+	bl := g.BLevels()
+	cp := int32(0)
+	for _, b := range bl {
+		if b > cp {
+			cp = b
+		}
+	}
+	// Increasing ALAP = cp - bl is a topological order: a parent's b-level
+	// strictly exceeds each child's, so its ALAP is strictly smaller.
+	order := make([]int32, v)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sortBy(order, func(a, b int32) bool {
+		aa, ab := cp-bl[a], cp-bl[b]
+		if aa != ab {
+			return aa < ab
+		}
+		return a < b
+	})
+	st := newDynState(g, sys)
+	st.insertion = true
+	for _, n := range order {
+		bestP, bestStart := -1, int32(0)
+		var bestFinish int32
+		for pe := 0; pe < p; pe++ {
+			s := st.est(n, pe)
+			f := s + sys.ExecCost(g.Weight(n), pe)
+			if bestP < 0 || f < bestFinish || (f == bestFinish && s < bestStart) {
+				bestP, bestStart, bestFinish = pe, s, f
+			}
+		}
+		st.place(n, bestP, bestStart)
+	}
+	return schedule.New(g, sys, st.placements), nil
+}
+
+// DLS implements Dynamic Level Scheduling (Sih & Lee): at every step,
+// over all (ready node, processor) pairs, schedule the pair maximizing the
+// dynamic level
+//
+//	DL(n, p) = sl(n) − EST(n, p) + Δ(n, p),
+//
+// where sl is the static level and Δ(n, p) = w̄(n) − w(n, p) credits
+// faster-than-average processors — the term that makes DLS the classic
+// heuristic for heterogeneous systems. Ties prefer the smaller node id,
+// then the smaller PE id.
+func DLS(g *taskgraph.Graph, sys *procgraph.System) (*schedule.Schedule, error) {
+	v, p := g.NumNodes(), sys.NumProcs()
+	if v == 0 || p == 0 {
+		return nil, fmt.Errorf("listsched: empty graph or system")
+	}
+	sl := g.StaticLevels()
+	wmean := make([]int64, v)
+	for n := 0; n < v; n++ {
+		var sum int64
+		for pe := 0; pe < p; pe++ {
+			sum += int64(sys.ExecCost(g.Weight(int32(n)), pe))
+		}
+		wmean[n] = sum / int64(p)
+	}
+	st := newDynState(g, sys)
+	for scheduled := 0; scheduled < v; scheduled++ {
+		bestN, bestP := int32(-1), -1
+		var bestStart int32
+		var bestDL int64
+		for _, n := range st.ready {
+			for pe := 0; pe < p; pe++ {
+				s := st.est(n, pe)
+				dl := int64(sl[n]) - int64(s) + wmean[n] - int64(sys.ExecCost(g.Weight(n), pe))
+				better := bestN < 0 || dl > bestDL
+				if !better && dl == bestDL {
+					better = n < bestN || (n == bestN && pe < bestP)
+				}
+				if better {
+					bestN, bestP, bestStart, bestDL = n, pe, s, dl
+				}
+			}
+		}
+		st.place(bestN, bestP, bestStart)
+	}
+	return schedule.New(g, sys, st.placements), nil
+}
+
+// dynState is the shared bookkeeping of the dynamic heuristics: placements
+// so far, per-PE ready times (or busy intervals when insertion is on), and
+// the ready set maintained by in-degree counting.
+type dynState struct {
+	g          *taskgraph.Graph
+	sys        *procgraph.System
+	placements []schedule.Placement
+	rt         []int32
+	busy       [][]schedule.Placement
+	insertion  bool
+	predsLeft  []int32
+	ready      []int32
+}
+
+func newDynState(g *taskgraph.Graph, sys *procgraph.System) *dynState {
+	v, p := g.NumNodes(), sys.NumProcs()
+	st := &dynState{
+		g:          g,
+		sys:        sys,
+		placements: make([]schedule.Placement, v),
+		rt:         make([]int32, p),
+		busy:       make([][]schedule.Placement, p),
+		predsLeft:  make([]int32, v),
+	}
+	for n := 0; n < v; n++ {
+		st.placements[n].Proc = -1
+		st.predsLeft[n] = int32(g.InDegree(int32(n)))
+		if st.predsLeft[n] == 0 {
+			st.ready = append(st.ready, int32(n))
+		}
+	}
+	return st
+}
+
+// est returns node n's earliest start time on PE pe given the current
+// partial schedule (all predecessors of a ready node are placed).
+func (st *dynState) est(n int32, pe int) int32 {
+	dataReady := int32(0)
+	for _, a := range st.g.Pred(n) {
+		t := st.placements[a.Node].Finish + st.sys.CommCost(a.Cost, int(st.placements[a.Node].Proc), pe)
+		if t > dataReady {
+			dataReady = t
+		}
+	}
+	if st.insertion {
+		return earliestGap(st.busy[pe], dataReady, st.sys.ExecCost(st.g.Weight(n), pe))
+	}
+	return max32(st.rt[pe], dataReady)
+}
+
+// place commits node n to PE pe at the given start and updates the ready
+// set.
+func (st *dynState) place(n int32, pe int, start int32) {
+	finish := start + st.sys.ExecCost(st.g.Weight(n), pe)
+	st.placements[n] = schedule.Placement{Proc: int32(pe), Start: start, Finish: finish}
+	if st.insertion {
+		st.busy[pe] = insertInterval(st.busy[pe], st.placements[n])
+	}
+	if finish > st.rt[pe] {
+		st.rt[pe] = finish
+	}
+	for i, r := range st.ready {
+		if r == n {
+			st.ready = append(st.ready[:i], st.ready[i+1:]...)
+			break
+		}
+	}
+	for _, a := range st.g.Succ(n) {
+		st.predsLeft[a.Node]--
+		if st.predsLeft[a.Node] == 0 {
+			st.ready = append(st.ready, a.Node)
+		}
+	}
+}
+
+// sortBy sorts ids with the given less function (insertion sort is fine at
+// these sizes and avoids the sort.Slice closure allocation in hot sweeps).
+func sortBy(ids []int32, less func(a, b int32) bool) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && less(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// Named pairs a display name with a heuristic, for sweeps and studies.
+type Named struct {
+	Name string
+	Run  func(*taskgraph.Graph, *procgraph.System) (*schedule.Schedule, error)
+}
+
+// All returns every list-scheduling heuristic in the package: the static
+// scheduler under its three priority attributes (plus the insertion
+// variant) and the three dynamic heuristics.
+func All() []Named {
+	static := func(opt Options) func(*taskgraph.Graph, *procgraph.System) (*schedule.Schedule, error) {
+		return func(g *taskgraph.Graph, sys *procgraph.System) (*schedule.Schedule, error) {
+			return Schedule(g, sys, opt)
+		}
+	}
+	return []Named{
+		{"list/b-level", static(Options{Priority: PriorityBLevel})},
+		{"list/bl+tl", static(Options{Priority: PriorityBLPlusTL})},
+		{"list/static-level", static(Options{Priority: PriorityStaticLevel})},
+		{"list/b-level+insertion", static(Options{Priority: PriorityBLevel, Insertion: true})},
+		{"etf", ETF},
+		{"mcp", MCP},
+		{"dls", DLS},
+	}
+}

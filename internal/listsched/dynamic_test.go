@@ -1,0 +1,211 @@
+package listsched
+
+import (
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/gen"
+	"repro/internal/procgraph"
+	"repro/internal/taskgraph"
+)
+
+// TestDynamicHeuristicsValid asserts every heuristic produces a validated
+// schedule across the §4.1 workload mix and several topologies.
+func TestDynamicHeuristicsValid(t *testing.T) {
+	systems := []*procgraph.System{
+		procgraph.Complete(4),
+		procgraph.Ring(5),
+		procgraph.Mesh(2, 3),
+	}
+	for _, alg := range All() {
+		for _, ccr := range []float64{0.1, 1.0, 10.0} {
+			for si, sys := range systems {
+				g := gen.MustRandom(gen.RandomConfig{V: 20, CCR: ccr, Seed: uint64(si)*100 + uint64(ccr*10)})
+				s, err := alg.Run(g, sys)
+				if err != nil {
+					t.Fatalf("%s ccr=%g sys=%d: %v", alg.Name, ccr, si, err)
+				}
+				if err := s.Validate(); err != nil {
+					t.Errorf("%s ccr=%g sys=%d: invalid schedule: %v", alg.Name, ccr, si, err)
+				}
+				if s.Length <= 0 {
+					t.Errorf("%s ccr=%g sys=%d: non-positive length %d", alg.Name, ccr, si, s.Length)
+				}
+			}
+		}
+	}
+}
+
+// TestDynamicHeuristicsNeverBeatOptimal asserts heuristic lengths are
+// lower-bounded by the exhaustive optimum on small instances — the
+// direction of the paper's "optimal solutions as a reference" comparison.
+func TestDynamicHeuristicsNeverBeatOptimal(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := gen.MustRandom(gen.RandomConfig{V: 7, CCR: 1.0, Seed: seed})
+		sys := procgraph.Complete(3)
+		truth, err := bruteforce.Solve(g, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range All() {
+			s, err := alg.Run(g, sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Length < truth.Length {
+				t.Errorf("%s seed=%d: heuristic %d beats proven optimum %d",
+					alg.Name, seed, s.Length, truth.Length)
+			}
+		}
+	}
+}
+
+// TestDynamicHeuristicsDeterministic asserts repeated runs give identical
+// schedules (all tie-breaks are total orders).
+func TestDynamicHeuristicsDeterministic(t *testing.T) {
+	g := gen.MustRandom(gen.RandomConfig{V: 24, CCR: 1.0, Seed: 404})
+	sys := procgraph.Complete(4)
+	for _, alg := range All() {
+		a, err := alg.Run(g, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := alg.Run(g, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Length != b.Length {
+			t.Errorf("%s: lengths differ across runs: %d vs %d", alg.Name, a.Length, b.Length)
+		}
+		for n := 0; n < g.NumNodes(); n++ {
+			if a.Place[n] != b.Place[n] {
+				t.Errorf("%s: node %d placed differently across runs", alg.Name, n)
+				break
+			}
+		}
+	}
+}
+
+// TestETFPicksEarliestStart pins ETF's defining property on a hand-built
+// instance: two independent tasks and two PEs — the second task must start
+// at time 0 on the other PE, not queue behind the first.
+func TestETFPicksEarliestStart(t *testing.T) {
+	b := taskgraph.NewBuilder("etf-pin")
+	a := b.AddNode(10)
+	c := b.AddNode(10)
+	_ = a
+	_ = c
+	g := b.MustBuild()
+	s, err := ETF(g, procgraph.Complete(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length != 10 {
+		t.Fatalf("ETF length %d; want 10 (both tasks at time 0)", s.Length)
+	}
+	if s.Place[0].Proc == s.Place[1].Proc {
+		t.Fatal("ETF queued independent tasks on one PE")
+	}
+}
+
+// TestMCPUsesInsertion pins MCP's gap-filling: a short independent task
+// must slot into the idle gap a cross-PE communication leaves open.
+func TestMCPUsesInsertion(t *testing.T) {
+	// chain: a(4) -> b(4) with cost 0; independent c(2).
+	// On one PE: a[0,4] b[4,8], c appends at 8 -> length 10 without
+	// insertion if c is listed last; with two PEs c fits at [0,2] anywhere.
+	bld := taskgraph.NewBuilder("mcp-pin")
+	a := bld.AddNode(4)
+	bn := bld.AddNode(4)
+	c := bld.AddNode(2)
+	bld.AddEdge(a, bn, 0)
+	_ = c
+	g := bld.MustBuild()
+	s, err := MCP(g, procgraph.Complete(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length != 8 {
+		t.Fatalf("MCP length %d; want 8", s.Length)
+	}
+}
+
+// TestDLSPrefersFastProcessor pins DLS's heterogeneous term Δ(n, p): on a
+// system whose second PE is 4x slower, a lone chain must stay on PE 0.
+func TestDLSPrefersFastProcessor(t *testing.T) {
+	bld := taskgraph.NewBuilder("dls-pin")
+	a := bld.AddNode(10)
+	b := bld.AddNode(10)
+	c := bld.AddNode(10)
+	bld.AddEdge(a, b, 1)
+	bld.AddEdge(b, c, 1)
+	g := bld.MustBuild()
+	sys := procgraph.CompleteWith(2, procgraph.Config{Speeds: []float64{1, 4}})
+	s, err := DLS(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := int32(0); n < 3; n++ {
+		if s.Place[n].Proc != 0 {
+			t.Fatalf("DLS put node %d on slow PE %d", n, s.Place[n].Proc)
+		}
+	}
+	if s.Length != 30 {
+		t.Fatalf("DLS length %d; want 30", s.Length)
+	}
+}
+
+// TestHeuristicsOnPaperExample records each heuristic's length on the
+// worked example (optimal = 14 on the 3-ring): none may beat 14, and the
+// b-level list scheduler must stay within the 2x the upper-bound role
+// tolerates in practice.
+func TestHeuristicsOnPaperExample(t *testing.T) {
+	g := gen.PaperExample()
+	sys := procgraph.Ring(3)
+	for _, alg := range All() {
+		s, err := alg.Run(g, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: invalid: %v", alg.Name, err)
+		}
+		if s.Length < 14 {
+			t.Errorf("%s: length %d beats the proven optimum 14", alg.Name, s.Length)
+		}
+		if s.Length > 28 {
+			t.Errorf("%s: length %d is more than 2x optimal on the worked example", alg.Name, s.Length)
+		}
+	}
+}
+
+// TestDynamicHeuristicsSingleton asserts the degenerate one-task instance:
+// every heuristic must place it at time zero.
+func TestDynamicHeuristicsSingleton(t *testing.T) {
+	b := taskgraph.NewBuilder("one")
+	b.AddNode(7)
+	g := b.MustBuild()
+	for _, alg := range All() {
+		s, err := alg.Run(g, procgraph.Complete(1))
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name, err)
+		}
+		if s.Length != 7 || s.Place[0].Start != 0 {
+			t.Errorf("%s: singleton placed [%d,%d); want [0,7)", alg.Name, s.Place[0].Start, s.Place[0].Finish)
+		}
+	}
+}
+
+// TestAllNamesUnique guards the registry used by sweeps and reports.
+func TestAllNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, alg := range All() {
+		if seen[alg.Name] {
+			t.Errorf("duplicate heuristic name %q", alg.Name)
+		}
+		seen[alg.Name] = true
+		if alg.Run == nil {
+			t.Errorf("heuristic %q has no Run", alg.Name)
+		}
+	}
+}

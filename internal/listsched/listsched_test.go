@@ -1,0 +1,134 @@
+package listsched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bruteforce"
+	"repro/internal/gen"
+	"repro/internal/procgraph"
+)
+
+// TestValidSchedules: every priority mode and insertion setting yields a
+// schedule that passes full validation, across CCRs and topologies.
+func TestValidSchedules(t *testing.T) {
+	priorities := []Priority{PriorityBLevel, PriorityBLPlusTL, PriorityStaticLevel}
+	for _, ccr := range []float64{0.1, 1.0, 10.0} {
+		for seed := uint64(0); seed < 5; seed++ {
+			g := gen.MustRandom(gen.RandomConfig{V: 20, CCR: ccr, Seed: seed})
+			for _, sys := range []*procgraph.System{procgraph.Complete(4), procgraph.Ring(5), procgraph.Mesh(2, 3)} {
+				for _, p := range priorities {
+					for _, ins := range []bool{false, true} {
+						s, err := Schedule(g, sys, Options{Priority: p, Insertion: ins})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := s.Validate(); err != nil {
+							t.Errorf("ccr=%g seed=%d sys=%s prio=%s ins=%v: %v", ccr, seed, sys.Name(), p, ins, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUpperBoundsOptimal: the heuristic length must never beat the true
+// optimum (it is an upper bound), verified against brute force.
+func TestUpperBoundsOptimal(t *testing.T) {
+	f := func(seed uint64) bool {
+		v := 4 + int(seed%4)
+		g := gen.MustRandom(gen.RandomConfig{V: v, CCR: 1.0, Seed: seed})
+		sys := procgraph.Complete(3)
+		opt, err := bruteforce.Solve(g, sys)
+		if err != nil {
+			return false
+		}
+		ub, err := UpperBound(g, sys)
+		if err != nil {
+			return false
+		}
+		return ub >= opt.Length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInsertionNeverWorse: on any instance, the insertion variant is at
+// least as good as non-insertion under the same priority (it only adds
+// placement opportunities per node, greedily) — not a theorem for the final
+// makespan, so assert over a suite aggregate instead.
+func TestInsertionAggregate(t *testing.T) {
+	var non, ins int64
+	for seed := uint64(0); seed < 30; seed++ {
+		g := gen.MustRandom(gen.RandomConfig{V: 24, CCR: 1.0, Seed: seed + 1000})
+		sys := procgraph.Complete(4)
+		a, err := Schedule(g, sys, Options{Priority: PriorityBLevel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Schedule(g, sys, Options{Priority: PriorityBLevel, Insertion: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		non += int64(a.Length)
+		ins += int64(b.Length)
+	}
+	if ins > non {
+		t.Errorf("insertion worse in aggregate: %d > %d", ins, non)
+	}
+	t.Logf("aggregate lengths: non-insertion=%d insertion=%d", non, ins)
+}
+
+// TestChainStaysPut: a communication-heavy chain must be scheduled on one PE.
+func TestChainStaysPut(t *testing.T) {
+	g, err := gen.ForkJoin(1, 6, 10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := procgraph.Complete(4)
+	s, err := Schedule(g, sys, Options{Priority: PriorityBLevel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ProcsUsed() != 1 {
+		t.Errorf("heavy chain spread over %d PEs", s.ProcsUsed())
+	}
+	if s.Length != int32(g.TotalWork()) {
+		t.Errorf("length %d, want %d", s.Length, g.TotalWork())
+	}
+}
+
+// TestIndependentSpread: independent tasks with p available PEs must use all
+// of them.
+func TestIndependentSpread(t *testing.T) {
+	g, err := gen.ForkJoin(6, 1, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := procgraph.Complete(8)
+	s, err := Schedule(g, sys, Options{Priority: PriorityBLevel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ProcsUsed() < 6 {
+		t.Errorf("fork-join width 6 used only %d PEs", s.ProcsUsed())
+	}
+}
+
+// TestHeterogeneous: the heuristic respects per-PE execution costs.
+func TestHeterogeneous(t *testing.T) {
+	g := gen.MustRandom(gen.RandomConfig{V: 15, CCR: 0.5, Seed: 2})
+	sys := procgraph.CompleteWith(3, procgraph.Config{Speeds: []float64{1.0, 3.0, 0.5}})
+	s, err := Schedule(g, sys, Options{Priority: PriorityBLevel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+package procgraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompleteDistances(t *testing.T) {
+	s := Complete(5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := int32(1)
+			if i == j {
+				want = 0
+			}
+			if s.Dist(i, j) != want {
+				t.Errorf("dist(%d,%d) = %d, want %d", i, j, s.Dist(i, j), want)
+			}
+		}
+	}
+	if s.NumClasses() != 1 {
+		t.Errorf("complete graph should have 1 interchangeability class, got %d", s.NumClasses())
+	}
+	if s.Diameter() != 1 {
+		t.Errorf("diameter = %d, want 1", s.Diameter())
+	}
+}
+
+func TestRingDistances(t *testing.T) {
+	s := Ring(6)
+	want := [][]int32{
+		{0, 1, 2, 3, 2, 1},
+		{1, 0, 1, 2, 3, 2},
+	}
+	for i, row := range want {
+		for j, d := range row {
+			if s.Dist(i, j) != d {
+				t.Errorf("ring6 dist(%d,%d) = %d, want %d", i, j, s.Dist(i, j), d)
+			}
+		}
+	}
+	if s.Diameter() != 3 {
+		t.Errorf("ring6 diameter = %d, want 3", s.Diameter())
+	}
+}
+
+func TestRingSmall(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		s := Ring(n)
+		if s.NumProcs() != n {
+			t.Fatalf("ring(%d) has %d PEs", n, s.NumProcs())
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && s.Dist(i, j) < 1 {
+					t.Errorf("ring(%d) dist(%d,%d) = %d", n, i, j, s.Dist(i, j))
+				}
+			}
+		}
+	}
+	// The paper's 3-ring: all PEs mutually interchangeable.
+	if Ring(3).NumClasses() != 1 {
+		t.Errorf("ring-3 should have a single class")
+	}
+}
+
+func TestMeshDistancesAreManhattan(t *testing.T) {
+	rows, cols := 3, 4
+	s := Mesh(rows, cols)
+	for r1 := 0; r1 < rows; r1++ {
+		for c1 := 0; c1 < cols; c1++ {
+			for r2 := 0; r2 < rows; r2++ {
+				for c2 := 0; c2 < cols; c2++ {
+					want := int32(abs(r1-r2) + abs(c1-c2))
+					got := s.Dist(r1*cols+c1, r2*cols+c2)
+					if got != want {
+						t.Errorf("mesh dist((%d,%d),(%d,%d)) = %d, want %d", r1, c1, r2, c2, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHypercubeDistancesAreHamming(t *testing.T) {
+	s := Hypercube(4)
+	n := s.NumProcs()
+	if n != 16 {
+		t.Fatalf("hypercube(4) has %d PEs", n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := int32(popcount(uint(i ^ j)))
+			if s.Dist(i, j) != want {
+				t.Errorf("hypercube dist(%d,%d) = %d, want %d", i, j, s.Dist(i, j), want)
+			}
+		}
+	}
+	// The hypercube is vertex-transitive, but its automorphisms are not
+	// transpositions (swapping 0 and 1 changes dist to 2), so the
+	// deliberately conservative criterion keeps every PE in its own class.
+	if s.NumClasses() != 16 {
+		t.Errorf("hypercube-4 classes = %d, want 16 (conservative criterion)", s.NumClasses())
+	}
+}
+
+func TestStarClasses(t *testing.T) {
+	s := Star(5)
+	// Center is its own class; all leaves interchangeable.
+	if s.ClassRep(0) != 0 {
+		t.Errorf("center class rep = %d", s.ClassRep(0))
+	}
+	for leaf := 1; leaf < 5; leaf++ {
+		if s.ClassRep(leaf) != 1 {
+			t.Errorf("leaf %d class rep = %d, want 1", leaf, s.ClassRep(leaf))
+		}
+	}
+	if s.NumClasses() != 2 {
+		t.Errorf("star classes = %d, want 2", s.NumClasses())
+	}
+}
+
+func TestChainClasses(t *testing.T) {
+	s := Chain(4)
+	// Chain 0-1-2-3: swap(0,3) does NOT preserve distances to {1,2}?
+	// dist(0,1)=1 vs dist(3,1)=2, so 0 and 3 are not interchangeable by the
+	// transposition criterion even though a full reversal is an automorphism;
+	// the pruning is deliberately conservative.
+	if s.ClassRep(3) == s.ClassRep(0) {
+		t.Errorf("chain ends should not be transposition-interchangeable")
+	}
+}
+
+func TestClassesAreTranspositionSound(t *testing.T) {
+	// For every pair in one class, verify explicitly that swapping the two
+	// PEs leaves the whole distance matrix invariant.
+	systems := []*System{Ring(5), Ring(6), Mesh(2, 3), Mesh(3, 3), Hypercube(3), Star(6), Complete(7), Chain(5), Torus(3, 3)}
+	for _, s := range systems {
+		n := s.NumProcs()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if s.ClassRep(i) != s.ClassRep(j) {
+					continue
+				}
+				perm := make([]int, n)
+				for k := range perm {
+					perm[k] = k
+				}
+				perm[i], perm[j] = j, i
+				for a := 0; a < n; a++ {
+					for b := 0; b < n; b++ {
+						if s.Dist(a, b) != s.Dist(perm[a], perm[b]) {
+							t.Errorf("%s: class pair (%d,%d) swap changes dist(%d,%d)", s.Name(), i, j, a, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDistanceMatrixProperties(t *testing.T) {
+	f := func(rows, cols uint8) bool {
+		r := int(rows%3) + 1
+		c := int(cols%4) + 1
+		s := Mesh(r, c)
+		n := s.NumProcs()
+		for i := 0; i < n; i++ {
+			if s.Dist(i, i) != 0 {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if s.Dist(i, j) != s.Dist(j, i) {
+					return false
+				}
+				for k := 0; k < n; k++ {
+					if s.Dist(i, k) > s.Dist(i, j)+s.Dist(j, k) {
+						return false // triangle inequality
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeterogeneousSpeeds(t *testing.T) {
+	s := CompleteWith(3, Config{Speeds: []float64{1.0, 2.0, 0.5}})
+	if !s.Heterogeneous() {
+		t.Fatal("system should be heterogeneous")
+	}
+	if got := s.ExecCost(10, 0); got != 10 {
+		t.Errorf("exec(10, PE0) = %d, want 10", got)
+	}
+	if got := s.ExecCost(10, 1); got != 20 {
+		t.Errorf("exec(10, PE1) = %d, want 20", got)
+	}
+	if got := s.ExecCost(10, 2); got != 5 {
+		t.Errorf("exec(10, PE2) = %d, want 5", got)
+	}
+	if got := s.ExecCost(1, 2); got != 1 {
+		t.Errorf("exec cost floor: got %d, want 1", got)
+	}
+	// Different speeds must split interchangeability classes.
+	if s.ClassRep(0) == s.ClassRep(1) {
+		t.Error("PEs with different speeds must not share a class")
+	}
+}
+
+func TestCommCostModels(t *testing.T) {
+	hop := Chain(3) // dist(0,2) = 2
+	if got := hop.CommCost(5, 0, 2); got != 10 {
+		t.Errorf("hop-scaled comm = %d, want 10", got)
+	}
+	if got := hop.CommCost(5, 1, 1); got != 0 {
+		t.Errorf("same-PE comm = %d, want 0", got)
+	}
+	uni := ChainWith(3, Config{Link: LinkUniform})
+	if got := uni.CommCost(5, 0, 2); got != 5 {
+		t.Errorf("uniform comm = %d, want 5", got)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New("x", 0, nil, Config{}); err == nil {
+		t.Error("zero PEs should fail")
+	}
+	if _, err := New("x", 2, [][2]int{{0, 5}}, Config{}); err == nil {
+		t.Error("out-of-range link should fail")
+	}
+	if _, err := New("x", 2, [][2]int{{1, 1}}, Config{}); err == nil {
+		t.Error("self-link should fail")
+	}
+	if _, err := New("x", 3, [][2]int{{0, 1}}, Config{}); err == nil {
+		t.Error("disconnected system should fail")
+	}
+	if _, err := New("x", 2, [][2]int{{0, 1}}, Config{Speeds: []float64{1}}); err == nil {
+		t.Error("speed length mismatch should fail")
+	}
+	if _, err := New("x", 2, [][2]int{{0, 1}}, Config{Speeds: []float64{1, -2}}); err == nil {
+		t.Error("negative speed should fail")
+	}
+}
+
+func TestMeshFor(t *testing.T) {
+	cases := map[int][2]int{
+		1:  {1, 1},
+		4:  {2, 2},
+		6:  {2, 3},
+		7:  {1, 7},
+		12: {3, 4},
+		16: {4, 4},
+	}
+	for n, want := range cases {
+		s := MeshFor(n)
+		if s.NumProcs() != n {
+			t.Errorf("MeshFor(%d) has %d PEs", n, s.NumProcs())
+		}
+		if s.NumProcs() != want[0]*want[1] {
+			t.Errorf("MeshFor(%d) dims wrong", n)
+		}
+	}
+}
+
+func TestTorusWraparound(t *testing.T) {
+	s := Torus(4, 4)
+	// Opposite corners are 4 hops on a mesh but 2 on a torus... actually
+	// (0,0) to (3,3): wrap both dims -> 1+1 = 2 hops.
+	if got := s.Dist(0, 15); got != 2 {
+		t.Errorf("torus dist(corner, corner) = %d, want 2", got)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func popcount(x uint) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

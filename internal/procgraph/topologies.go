@@ -1,0 +1,161 @@
+package procgraph
+
+import "fmt"
+
+// Standard topology constructors. Each returns a homogeneous, hop-scaled
+// system; use the Config-taking variants for heterogeneous speeds or a
+// uniform link model.
+
+// Complete returns a fully-connected system of n PEs.
+func Complete(n int) *System { return CompleteWith(n, Config{}) }
+
+// CompleteWith is Complete with a Config.
+func CompleteWith(n int, cfg Config) *System {
+	var links [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			links = append(links, [2]int{i, j})
+		}
+	}
+	return must(New(fmt.Sprintf("complete-%d", n), n, links, cfg))
+}
+
+// Ring returns a ring of n PEs (PE i is linked to (i±1) mod n), like the
+// 3-processor ring of the paper's Figure 1(b).
+func Ring(n int) *System { return RingWith(n, Config{}) }
+
+// RingWith is Ring with a Config.
+func RingWith(n int, cfg Config) *System {
+	var links [][2]int
+	if n > 1 {
+		for i := 0; i < n; i++ {
+			j := (i + 1) % n
+			if i < j || n == 2 && i == 0 {
+				links = append(links, [2]int{i, j})
+			}
+		}
+		if n > 2 {
+			links = append(links, [2]int{n - 1, 0})
+		}
+	}
+	return must(New(fmt.Sprintf("ring-%d", n), n, dedup(links), cfg))
+}
+
+// Chain returns a linear array of n PEs.
+func Chain(n int) *System { return ChainWith(n, Config{}) }
+
+// ChainWith is Chain with a Config.
+func ChainWith(n int, cfg Config) *System {
+	var links [][2]int
+	for i := 0; i+1 < n; i++ {
+		links = append(links, [2]int{i, i + 1})
+	}
+	return must(New(fmt.Sprintf("chain-%d", n), n, links, cfg))
+}
+
+// Star returns a star with PE 0 at the center and n-1 leaves.
+func Star(n int) *System { return StarWith(n, Config{}) }
+
+// StarWith is Star with a Config.
+func StarWith(n int, cfg Config) *System {
+	var links [][2]int
+	for i := 1; i < n; i++ {
+		links = append(links, [2]int{0, i})
+	}
+	return must(New(fmt.Sprintf("star-%d", n), n, links, cfg))
+}
+
+// Mesh returns a rows x cols 2-D mesh (the Intel Paragon's topology, §3.3).
+// PE (r, c) has index r*cols + c.
+func Mesh(rows, cols int) *System { return MeshWith(rows, cols, Config{}) }
+
+// MeshWith is Mesh with a Config.
+func MeshWith(rows, cols int, cfg Config) *System {
+	var links [][2]int
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				links = append(links, [2]int{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				links = append(links, [2]int{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return must(New(fmt.Sprintf("mesh-%dx%d", rows, cols), rows*cols, links, cfg))
+}
+
+// Torus returns a rows x cols 2-D torus (mesh with wraparound links).
+func Torus(rows, cols int) *System { return TorusWith(rows, cols, Config{}) }
+
+// TorusWith is Torus with a Config.
+func TorusWith(rows, cols int, cfg Config) *System {
+	var links [][2]int
+	id := func(r, c int) int { return ((r+rows)%rows)*cols + (c+cols)%cols }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			links = append(links, [2]int{id(r, c), id(r, c+1)})
+			links = append(links, [2]int{id(r, c), id(r+1, c)})
+		}
+	}
+	return must(New(fmt.Sprintf("torus-%dx%d", rows, cols), rows*cols, dedup(links), cfg))
+}
+
+// Hypercube returns a hypercube of dimension dim (2^dim PEs); the hop
+// distance equals the Hamming distance of the PE indices.
+func Hypercube(dim int) *System { return HypercubeWith(dim, Config{}) }
+
+// HypercubeWith is Hypercube with a Config.
+func HypercubeWith(dim int, cfg Config) *System {
+	n := 1 << dim
+	var links [][2]int
+	for i := 0; i < n; i++ {
+		for b := 0; b < dim; b++ {
+			j := i ^ (1 << b)
+			if i < j {
+				links = append(links, [2]int{i, j})
+			}
+		}
+	}
+	return must(New(fmt.Sprintf("hypercube-%d", dim), n, links, cfg))
+}
+
+// MeshFor returns a near-square mesh with at least n PEs trimmed to exactly
+// n when possible, used as the default PPE interconnect for q search
+// processors. When n has no near-square factorization the result is a
+// rows x cols mesh with rows*cols == n found by the largest divisor <=
+// sqrt(n); n prime degenerates to a chain.
+func MeshFor(n int) *System {
+	best := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			best = d
+		}
+	}
+	return Mesh(best, n/best)
+}
+
+func dedup(links [][2]int) [][2]int {
+	seen := map[[2]int]bool{}
+	var out [][2]int
+	for _, l := range links {
+		a, b := l[0], l[1]
+		if a > b {
+			a, b = b, a
+		}
+		if a == b || seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		out = append(out, [2]int{a, b})
+	}
+	return out
+}
+
+func must(s *System, err error) *System {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

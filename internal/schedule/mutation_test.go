@@ -1,0 +1,157 @@
+package schedule_test
+
+// The mutation tests corrupt known-valid schedules in targeted ways and
+// assert Validate catches every corruption — the property behind the
+// engines' "every emitted schedule validates" assertions. They live in an
+// external test package so they can build real schedules with listsched
+// (which itself imports schedule).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/listsched"
+	"repro/internal/procgraph"
+	"repro/internal/schedule"
+)
+
+func validBase(t *testing.T, seed uint64) *schedule.Schedule {
+	t.Helper()
+	g := gen.MustRandom(gen.RandomConfig{V: 12, CCR: 1.0, Seed: seed})
+	sys := procgraph.Complete(3)
+	s, err := listsched.Schedule(g, sys, listsched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("base schedule invalid: %v", err)
+	}
+	return s
+}
+
+// reassemble builds a fresh Schedule from mutated placements (Length is
+// recomputed by New, so mutations cannot hide behind a stale makespan).
+func reassemble(s *schedule.Schedule, place []schedule.Placement) *schedule.Schedule {
+	return schedule.New(s.Graph, s.System, place)
+}
+
+func clonePlace(s *schedule.Schedule) []schedule.Placement {
+	return append([]schedule.Placement(nil), s.Place...)
+}
+
+// TestMutationShiftEarlier moves one non-entry task earlier than its data
+// can arrive; Validate must object.
+func TestMutationShiftEarlier(t *testing.T) {
+	s := validBase(t, 1)
+	g := s.Graph
+	for n := 0; n < g.NumNodes(); n++ {
+		if len(g.Pred(int32(n))) == 0 || s.Place[n].Start == 0 {
+			continue
+		}
+		place := clonePlace(s)
+		place[n].Start = 0
+		place[n].Finish = place[n].Start + (s.Place[n].Finish - s.Place[n].Start)
+		if err := reassemble(s, place).Validate(); err == nil {
+			t.Fatalf("node %d moved to start 0 (preds exist) passed validation", n)
+		}
+		return
+	}
+	t.Skip("no movable node in this instance")
+}
+
+// TestMutationOverlap forces two same-PE tasks to overlap.
+func TestMutationOverlap(t *testing.T) {
+	s := validBase(t, 2)
+	place := clonePlace(s)
+	// Find two tasks on one PE and pull the later one into the earlier.
+	byProc := map[int32][]int{}
+	for n, p := range place {
+		byProc[p.Proc] = append(byProc[p.Proc], n)
+	}
+	for _, nodes := range byProc {
+		if len(nodes) < 2 {
+			continue
+		}
+		a, b := nodes[0], nodes[1]
+		if place[a].Start > place[b].Start {
+			a, b = b, a
+		}
+		dur := place[b].Finish - place[b].Start
+		place[b].Start = place[a].Start
+		place[b].Finish = place[b].Start + dur
+		if err := reassemble(s, place).Validate(); err == nil {
+			t.Fatal("overlapping same-PE tasks passed validation")
+		}
+		return
+	}
+	t.Skip("no PE with two tasks")
+}
+
+// TestMutationWrongDuration stretches one task beyond its execution cost.
+func TestMutationWrongDuration(t *testing.T) {
+	s := validBase(t, 3)
+	place := clonePlace(s)
+	place[0].Finish += 5
+	if err := reassemble(s, place).Validate(); err == nil {
+		t.Fatal("stretched task passed validation")
+	}
+	place = clonePlace(s)
+	place[0].Finish = place[0].Start // zero duration
+	if err := reassemble(s, place).Validate(); err == nil {
+		t.Fatal("zero-duration task passed validation")
+	}
+}
+
+// TestMutationInvalidProcessor points a task at a PE outside the system.
+func TestMutationInvalidProcessor(t *testing.T) {
+	s := validBase(t, 4)
+	for _, bad := range []int32{-1, int32(s.System.NumProcs())} {
+		place := clonePlace(s)
+		place[1].Proc = bad
+		if err := reassemble(s, place).Validate(); err == nil {
+			t.Fatalf("PE %d passed validation", bad)
+		}
+	}
+}
+
+// TestMutationRandomized applies random small perturbations; every
+// mutation that changes any placement field to an earlier start must
+// either keep the schedule valid (slack exists) or be caught — but a
+// start moved before a predecessor's comm-arrival must always be caught.
+// This probes the validator with many shapes cheaply.
+func TestMutationRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	s := validBase(t, 5)
+	g := s.Graph
+	sys := s.System
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(g.NumNodes())
+		preds := g.Pred(int32(n))
+		if len(preds) == 0 {
+			continue
+		}
+		place := clonePlace(s)
+		// Earliest legal start given the (unmutated) predecessors.
+		var earliest int32
+		for _, a := range preds {
+			arr := place[a.Node].Finish + sys.CommCost(a.Cost, int(place[a.Node].Proc), int(place[n].Proc))
+			if arr > earliest {
+				earliest = arr
+			}
+		}
+		if earliest == 0 {
+			continue
+		}
+		dur := place[n].Finish - place[n].Start
+		place[n].Start = earliest - 1 - int32(rng.Intn(int(earliest)))
+		if place[n].Start < 0 {
+			place[n].Start = 0
+		}
+		place[n].Finish = place[n].Start + dur
+		if err := reassemble(s, place).Validate(); err == nil {
+			t.Fatalf("trial %d: node %d started at %d before its data arrives at %d, yet validated",
+				trial, n, place[n].Start, earliest)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package taskgraph
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func diamond() *Graph {
+	b := NewBuilder("diamond")
+	a := b.AddNode(2)
+	c := b.AddNode(3)
+	d := b.AddNode(4)
+	e := b.AddNode(5)
+	b.AddEdge(a, c, 1)
+	b.AddEdge(a, d, 2)
+	b.AddEdge(c, e, 3)
+	b.AddEdge(d, e, 4)
+	return b.MustBuild()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := diamond()
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got v=%d e=%d, want 4/4", g.NumNodes(), g.NumEdges())
+	}
+	if got := g.Weight(2); got != 4 {
+		t.Errorf("weight(2) = %d, want 4", got)
+	}
+	if c, ok := g.EdgeCost(0, 2); !ok || c != 2 {
+		t.Errorf("edge (0,2) = %d,%v; want 2,true", c, ok)
+	}
+	if _, ok := g.EdgeCost(2, 0); ok {
+		t.Error("reverse edge should not exist")
+	}
+	if g.TotalWork() != 14 {
+		t.Errorf("total work = %d, want 14", g.TotalWork())
+	}
+	if g.TotalComm() != 10 {
+		t.Errorf("total comm = %d, want 10", g.TotalComm())
+	}
+	entries := g.EntryNodes()
+	exits := g.ExitNodes()
+	if len(entries) != 1 || entries[0] != 0 {
+		t.Errorf("entries = %v, want [0]", entries)
+	}
+	if len(exits) != 1 || exits[0] != 3 {
+		t.Errorf("exits = %v, want [3]", exits)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := map[string]func() *Builder{
+		"empty": func() *Builder { return NewBuilder("x") },
+		"zero-weight": func() *Builder {
+			b := NewBuilder("x")
+			b.AddNode(0)
+			return b
+		},
+		"negative-weight": func() *Builder {
+			b := NewBuilder("x")
+			b.AddNode(-3)
+			return b
+		},
+		"edge-out-of-range": func() *Builder {
+			b := NewBuilder("x")
+			b.AddNode(1)
+			b.AddEdge(0, 5, 1)
+			return b
+		},
+		"self-loop": func() *Builder {
+			b := NewBuilder("x")
+			b.AddNode(1)
+			b.AddEdge(0, 0, 1)
+			return b
+		},
+		"negative-edge": func() *Builder {
+			b := NewBuilder("x")
+			b.AddNode(1)
+			b.AddNode(1)
+			b.AddEdge(0, 1, -1)
+			return b
+		},
+		"duplicate-edge": func() *Builder {
+			b := NewBuilder("x")
+			b.AddNode(1)
+			b.AddNode(1)
+			b.AddEdge(0, 1, 1)
+			b.AddEdge(0, 1, 2)
+			return b
+		},
+		"cycle": func() *Builder {
+			b := NewBuilder("x")
+			b.AddNode(1)
+			b.AddNode(1)
+			b.AddEdge(0, 1, 1)
+			b.AddEdge(1, 0, 1)
+			return b
+		},
+	}
+	for name, mk := range cases {
+		if _, err := mk().Build(); err == nil {
+			t.Errorf("%s: expected error, got nil", name)
+		}
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := diamond()
+	pos := make(map[int32]int)
+	for i, n := range g.TopoOrder() {
+		pos[n] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge (%d,%d) violates topo order", e.From, e.To)
+		}
+	}
+}
+
+func TestLevelsDiamond(t *testing.T) {
+	g := diamond()
+	tl := g.TLevels()
+	bl := g.BLevels()
+	sl := g.StaticLevels()
+	// tl: n0=0, n1=2+1=3, n2=2+2=4, n3=max(3+3+3, 4+4+4)=12
+	wantTL := []int32{0, 3, 4, 12}
+	// bl: n3=5, n2=4+4+5=13, n1=3+3+5=11, n0=2+max(1+11, 2+13)=17
+	wantBL := []int32{17, 11, 13, 5}
+	// sl: n3=5, n2=9, n1=8, n0=2+9=11
+	wantSL := []int32{11, 8, 9, 5}
+	for n := 0; n < 4; n++ {
+		if tl[n] != wantTL[n] || bl[n] != wantBL[n] || sl[n] != wantSL[n] {
+			t.Errorf("node %d: tl=%d bl=%d sl=%d, want %d/%d/%d",
+				n, tl[n], bl[n], sl[n], wantTL[n], wantBL[n], wantSL[n])
+		}
+	}
+	cp, path := g.CriticalPath()
+	if cp != 17 {
+		t.Errorf("critical path = %d, want 17", cp)
+	}
+	if len(path) < 2 || path[0] != 0 || path[len(path)-1] != 3 {
+		t.Errorf("critical path nodes = %v, want entry 0 to exit 3", path)
+	}
+}
+
+// TestLevelInvariant checks the defining recurrences of the levels on random
+// graphs via testing/quick.
+func TestLevelInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed, 24)
+		tl := g.TLevels()
+		bl := g.BLevels()
+		sl := g.StaticLevels()
+		for n := int32(0); int(n) < g.NumNodes(); n++ {
+			var wantTL int32
+			for _, a := range g.Pred(n) {
+				if v := tl[a.Node] + g.Weight(a.Node) + a.Cost; v > wantTL {
+					wantTL = v
+				}
+			}
+			var maxSuccBL, maxSuccSL int32
+			for _, a := range g.Succ(n) {
+				if v := a.Cost + bl[a.Node]; v > maxSuccBL {
+					maxSuccBL = v
+				}
+				if sl[a.Node] > maxSuccSL {
+					maxSuccSL = sl[a.Node]
+				}
+			}
+			if tl[n] != wantTL ||
+				bl[n] != g.Weight(n)+maxSuccBL ||
+				sl[n] != g.Weight(n)+maxSuccSL {
+				return false
+			}
+			if sl[n] > bl[n] {
+				return false // static level never exceeds b-level
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomGraph builds an arbitrary DAG without using internal/gen (this
+// package must not depend on it).
+func randomGraph(seed uint64, maxV int) *Graph {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	v := 2 + rng.IntN(maxV-1)
+	b := NewBuilder("rand")
+	for i := 0; i < v; i++ {
+		b.AddNode(int32(1 + rng.IntN(50)))
+	}
+	for i := 0; i < v; i++ {
+		for j := i + 1; j < v; j++ {
+			if rng.Float64() < 0.25 {
+				b.AddEdge(int32(i), int32(j), int32(rng.IntN(60)))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := randomGraph(42, 20)
+	var buf bytes.Buffer
+	if err := Format(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualGraphs(t, g, g2)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := randomGraph(43, 20)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualGraphs(t, g, g2)
+}
+
+func assertEqualGraphs(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	for n := int32(0); int(n) < a.NumNodes(); n++ {
+		if a.Weight(n) != b.Weight(n) {
+			t.Fatalf("weight mismatch at node %d", n)
+		}
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge mismatch at %d: %+v vs %+v", i, ae[i], be[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad-directive":   "frob 1 2",
+		"node-short":      "node 1",
+		"node-nonnumeric": "node a b",
+		"edge-short":      "edge 1 2",
+		"dup-node":        "node 0 1\nnode 0 2",
+		"gap-ids":         "node 0 1\nnode 2 1",
+	}
+	for name, text := range cases {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	text := "# a comment\ngraph tiny\n\nnode 0 5 first\nnode 1 7\nedge 0 1 3\n"
+	g, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "tiny" || g.NumNodes() != 2 || g.Label(0) != "first" {
+		t.Errorf("parsed %v name=%q label=%q", g, g.Name(), g.Label(0))
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, diamond()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "0 -> 2", "w=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCCR(t *testing.T) {
+	g := diamond()
+	// avg comm = 10/4, avg comp = 14/4 -> CCR = 10/14.
+	want := 10.0 / 14.0
+	if got := g.CCR(); got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("CCR = %v, want %v", got, want)
+	}
+	single := NewBuilder("one")
+	single.AddNode(5)
+	g2 := single.MustBuild()
+	if g2.CCR() != 0 {
+		t.Errorf("edgeless CCR = %v, want 0", g2.CCR())
+	}
+}
+
+func TestComputationBound(t *testing.T) {
+	g := diamond()
+	// Longest pure-computation chain: 2+4+5 = 11.
+	if got := g.ComputationBound(); got != 11 {
+		t.Errorf("computation bound = %d, want 11", got)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	b := NewBuilder("x")
+	b.AddLabeledNode(1, "alpha")
+	b.AddNode(2)
+	g := b.MustBuild()
+	if g.Label(0) != "alpha" {
+		t.Errorf("label(0) = %q", g.Label(0))
+	}
+	if g.Label(1) != "n2" {
+		t.Errorf("default label(1) = %q, want n2 (1-based)", g.Label(1))
+	}
+}

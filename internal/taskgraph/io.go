@@ -1,0 +1,176 @@
+package taskgraph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is line oriented:
+//
+//	# comment
+//	graph <name>
+//	node <id> <weight> [label]
+//	edge <from> <to> <cost>
+//
+// Node ids must be 0..v-1 and each declared exactly once; declaration order
+// is free. The format is what cmd/icpp98 reads and writes.
+
+// Format writes g in the text format.
+func Format(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %s\n", g.name)
+	for n := 0; n < g.NumNodes(); n++ {
+		if g.labels[n] != "" {
+			fmt.Fprintf(bw, "node %d %d %s\n", n, g.weights[n], g.labels[n])
+		} else {
+			fmt.Fprintf(bw, "node %d %d\n", n, g.weights[n])
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "edge %d %d %d\n", e.From, e.To, e.Cost)
+	}
+	return bw.Flush()
+}
+
+// Parse reads a graph in the text format.
+func Parse(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	name := ""
+	type nodeDecl struct {
+		weight int32
+		label  string
+	}
+	nodes := map[int32]nodeDecl{}
+	var edges []Edge
+	maxID := int32(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "graph":
+			if len(fields) >= 2 {
+				name = fields[1]
+			}
+		case "node":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("taskgraph: line %d: node needs <id> <weight>", lineNo)
+			}
+			id, err1 := strconv.ParseInt(fields[1], 10, 32)
+			w, err2 := strconv.ParseInt(fields[2], 10, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("taskgraph: line %d: bad node declaration %q", lineNo, line)
+			}
+			if _, dup := nodes[int32(id)]; dup {
+				return nil, fmt.Errorf("taskgraph: line %d: node %d declared twice", lineNo, id)
+			}
+			label := ""
+			if len(fields) >= 4 {
+				label = fields[3]
+			}
+			nodes[int32(id)] = nodeDecl{weight: int32(w), label: label}
+			if int32(id) > maxID {
+				maxID = int32(id)
+			}
+		case "edge":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("taskgraph: line %d: edge needs <from> <to> <cost>", lineNo)
+			}
+			f, err1 := strconv.ParseInt(fields[1], 10, 32)
+			t, err2 := strconv.ParseInt(fields[2], 10, 32)
+			c, err3 := strconv.ParseInt(fields[3], 10, 32)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("taskgraph: line %d: bad edge declaration %q", lineNo, line)
+			}
+			edges = append(edges, Edge{From: int32(f), To: int32(t), Cost: int32(c)})
+		default:
+			return nil, fmt.Errorf("taskgraph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if int(maxID)+1 != len(nodes) {
+		return nil, fmt.Errorf("taskgraph: node ids must be contiguous 0..%d, got %d declarations", maxID, len(nodes))
+	}
+	b := NewBuilder(name)
+	for id := int32(0); id <= maxID; id++ {
+		d := nodes[id]
+		b.AddLabeledNode(d.weight, d.label)
+	}
+	for _, e := range edges {
+		b.AddEdge(e.From, e.To, e.Cost)
+	}
+	return b.Build()
+}
+
+// jsonGraph is the JSON wire form.
+type jsonGraph struct {
+	Name    string   `json:"name"`
+	Weights []int32  `json:"weights"`
+	Labels  []string `json:"labels,omitempty"`
+	Edges   []Edge   `json:"edges"`
+}
+
+// MarshalJSON encodes the graph.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.name, Weights: g.weights, Edges: g.Edges()}
+	for _, l := range g.labels {
+		if l != "" {
+			jg.Labels = g.labels
+			break
+		}
+	}
+	return json.Marshal(jg)
+}
+
+// FromJSON decodes a graph previously encoded with MarshalJSON.
+func FromJSON(data []byte) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return nil, err
+	}
+	b := NewBuilder(jg.Name)
+	for i, w := range jg.Weights {
+		label := ""
+		if jg.Labels != nil && i < len(jg.Labels) {
+			label = jg.Labels[i]
+		}
+		b.AddLabeledNode(w, label)
+	}
+	for _, e := range jg.Edges {
+		b.AddEdge(e.From, e.To, e.Cost)
+	}
+	return b.Build()
+}
+
+// WriteDOT emits the graph in Graphviz DOT syntax with node and edge weights
+// as labels.
+func WriteDOT(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=TB;\n", dotName(g.name))
+	for n := 0; n < g.NumNodes(); n++ {
+		fmt.Fprintf(bw, "  %d [label=\"%s\\nw=%d\"];\n", n, g.Label(int32(n)), g.weights[n])
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  %d -> %d [label=\"%d\"];\n", e.From, e.To, e.Cost)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+func dotName(s string) string {
+	if s == "" {
+		return "taskgraph"
+	}
+	return s
+}

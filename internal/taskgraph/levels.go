@@ -1,0 +1,125 @@
+package taskgraph
+
+// This file implements the O(v+e) graph analyses of paper §3.2:
+//
+//   - t-level (top level): the length of the longest path from an entry node
+//     to n, excluding n itself; path length sums node and edge weights.
+//   - b-level (bottom level): the length of the longest path from n to an
+//     exit node, including n's own weight and edge weights.
+//   - static level (sl): the b-level computed without edge costs.
+//   - critical path (CP): a path attaining max t-level(n) + b-level(n).
+//
+// The variants taking an explicit weight vector support heterogeneous
+// processors: the A* heuristic function needs static levels computed with the
+// per-node MINIMUM execution cost to remain admissible, while priority
+// ordering uses mean costs.
+
+// TLevels returns the t-level of every node.
+func (g *Graph) TLevels() []int32 { return g.TLevelsWith(g.weights) }
+
+// TLevelsWith returns t-levels computed with the supplied node weights.
+func (g *Graph) TLevelsWith(weights []int32) []int32 {
+	tl := make([]int32, g.NumNodes())
+	for _, n := range g.topo {
+		var best int32
+		for _, a := range g.pred[n] {
+			if v := tl[a.Node] + weights[a.Node] + a.Cost; v > best {
+				best = v
+			}
+		}
+		tl[n] = best
+	}
+	return tl
+}
+
+// BLevels returns the b-level of every node.
+func (g *Graph) BLevels() []int32 { return g.BLevelsWith(g.weights) }
+
+// BLevelsWith returns b-levels computed with the supplied node weights.
+func (g *Graph) BLevelsWith(weights []int32) []int32 {
+	bl := make([]int32, g.NumNodes())
+	for i := len(g.topo) - 1; i >= 0; i-- {
+		n := g.topo[i]
+		var best int32
+		for _, a := range g.succ[n] {
+			if v := a.Cost + bl[a.Node]; v > best {
+				best = v
+			}
+		}
+		bl[n] = weights[n] + best
+	}
+	return bl
+}
+
+// StaticLevels returns the static level (b-level without edge costs) of
+// every node.
+func (g *Graph) StaticLevels() []int32 { return g.StaticLevelsWith(g.weights) }
+
+// StaticLevelsWith returns static levels computed with the supplied node
+// weights.
+func (g *Graph) StaticLevelsWith(weights []int32) []int32 {
+	sl := make([]int32, g.NumNodes())
+	for i := len(g.topo) - 1; i >= 0; i-- {
+		n := g.topo[i]
+		var best int32
+		for _, a := range g.succ[n] {
+			if sl[a.Node] > best {
+				best = sl[a.Node]
+			}
+		}
+		sl[n] = weights[n] + best
+	}
+	return sl
+}
+
+// CriticalPath returns the length of the critical path (the longest path in
+// the DAG counting node and edge weights) and one path attaining it, as a
+// node sequence from an entry to an exit node.
+func (g *Graph) CriticalPath() (int32, []int32) {
+	tl := g.TLevels()
+	bl := g.BLevels()
+	var start int32
+	var best int32 = -1
+	for n := 0; n < g.NumNodes(); n++ {
+		if len(g.pred[n]) == 0 && bl[n] > best {
+			best = bl[n]
+			start = int32(n)
+		}
+	}
+	// Walk down always choosing a child on a longest remaining path.
+	path := []int32{start}
+	cur := start
+	for len(g.succ[cur]) > 0 {
+		var next int32 = -1
+		var nb int32 = -1
+		for _, a := range g.succ[cur] {
+			if v := a.Cost + bl[a.Node]; v > nb {
+				nb = v
+				next = a.Node
+			}
+		}
+		if bl[cur]-g.weights[cur] != nb {
+			// cur is effectively an exit on the critical path (all of its
+			// outgoing edges leave the longest path); cannot happen with
+			// consistent b-levels, but guard against underflow regardless.
+			break
+		}
+		path = append(path, next)
+		cur = next
+	}
+	_ = tl
+	return best, path
+}
+
+// ComputationBound returns a trivial lower bound on any schedule length:
+// max static level over entry nodes (the longest chain of pure computation).
+func (g *Graph) ComputationBound() int32 {
+	sl := g.StaticLevels()
+	var best int32
+	for n := 0; n < g.NumNodes(); n++ {
+		if sl[n] > best {
+			best = sl[n]
+		}
+	}
+	return best
+}

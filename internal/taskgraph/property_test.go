@@ -1,0 +1,205 @@
+package taskgraph_test
+
+// Property tests over the §4.1 generator's output: the level recurrences,
+// critical-path identities, topological-order validity, and serialization
+// round trips must hold for every graph the workload suites can produce.
+// They live in an external test package so they can use internal/gen
+// (which imports taskgraph).
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/taskgraph"
+)
+
+// arbitraryGraph maps quick's random inputs onto generator configurations
+// spanning the paper's workload space.
+func arbitraryGraph(v uint8, ccrSel uint8, seed uint64, deg uint8) *taskgraph.Graph {
+	size := 2 + int(v)%30
+	ccr := []float64{0.1, 1.0, 10.0}[int(ccrSel)%3]
+	outDeg := 1 + float64(deg%5)
+	return gen.MustRandom(gen.RandomConfig{
+		V: size, CCR: ccr, Seed: seed, MeanOutDeg: outDeg,
+	})
+}
+
+// TestQuickLevelRecurrences asserts the defining recurrences of the three
+// level attributes on arbitrary workload graphs:
+//
+//	sl(n) = w(n) + max_{c ∈ succ} sl(c)
+//	bl(n) = w(n) + max_{c ∈ succ} (c(n,c) + bl(c))
+//	tl(n) = max_{p ∈ pred} (tl(p) + w(p) + c(p,n))
+func TestQuickLevelRecurrences(t *testing.T) {
+	prop := func(v uint8, ccrSel uint8, seed uint64, deg uint8) bool {
+		g := arbitraryGraph(v, ccrSel, seed, deg)
+		sl := g.StaticLevels()
+		bl := g.BLevels()
+		tl := g.TLevels()
+		for n := int32(0); int(n) < g.NumNodes(); n++ {
+			var wantSL, wantBL int32
+			for _, a := range g.Succ(n) {
+				if sl[a.Node] > wantSL {
+					wantSL = sl[a.Node]
+				}
+				if b := a.Cost + bl[a.Node]; b > wantBL {
+					wantBL = b
+				}
+			}
+			if sl[n] != g.Weight(n)+wantSL || bl[n] != g.Weight(n)+wantBL {
+				return false
+			}
+			var wantTL int32
+			for _, a := range g.Pred(n) {
+				if v := tl[a.Node] + g.Weight(a.Node) + a.Cost; v > wantTL {
+					wantTL = v
+				}
+			}
+			if tl[n] != wantTL {
+				return false
+			}
+			// sl ignores edge costs, so it never exceeds bl.
+			if sl[n] > bl[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCriticalPathIdentities asserts CP = max bl, tl(n) + bl(n) <= CP
+// for every node with equality along the returned critical path, and that
+// the returned path is a real path in the graph.
+func TestQuickCriticalPathIdentities(t *testing.T) {
+	prop := func(v uint8, ccrSel uint8, seed uint64, deg uint8) bool {
+		g := arbitraryGraph(v, ccrSel, seed, deg)
+		bl := g.BLevels()
+		tl := g.TLevels()
+		cp, path := g.CriticalPath()
+		var maxBL int32
+		for _, b := range bl {
+			if b > maxBL {
+				maxBL = b
+			}
+		}
+		if cp != maxBL {
+			return false
+		}
+		for n := int32(0); int(n) < g.NumNodes(); n++ {
+			if tl[n]+bl[n] > cp {
+				return false
+			}
+		}
+		if len(path) == 0 {
+			return false
+		}
+		for _, n := range path {
+			if tl[n]+bl[n] != cp {
+				return false
+			}
+		}
+		for i := 1; i < len(path); i++ {
+			if _, ok := g.EdgeCost(path[i-1], path[i]); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTopoOrder asserts the cached topological order contains every
+// node once, with every edge pointing forward.
+func TestQuickTopoOrder(t *testing.T) {
+	prop := func(v uint8, ccrSel uint8, seed uint64, deg uint8) bool {
+		g := arbitraryGraph(v, ccrSel, seed, deg)
+		pos := make(map[int32]int, g.NumNodes())
+		for i, n := range g.TopoOrder() {
+			if _, dup := pos[n]; dup {
+				return false
+			}
+			pos[n] = i
+		}
+		if len(pos) != g.NumNodes() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTextRoundTrip asserts Format/Parse is the identity on arbitrary
+// workload graphs (names, labels, weights, edges, costs).
+func TestQuickTextRoundTrip(t *testing.T) {
+	prop := func(v uint8, ccrSel uint8, seed uint64, deg uint8) bool {
+		g := arbitraryGraph(v, ccrSel, seed, deg)
+		var b strings.Builder
+		if err := taskgraph.Format(&b, g); err != nil {
+			return false
+		}
+		back, err := taskgraph.Parse(strings.NewReader(b.String()))
+		if err != nil {
+			return false
+		}
+		if back.Name() != g.Name() || back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for n := int32(0); int(n) < g.NumNodes(); n++ {
+			if back.Weight(n) != g.Weight(n) || back.Label(n) != g.Label(n) {
+				return false
+			}
+		}
+		for _, e := range g.Edges() {
+			c, ok := back.EdgeCost(e.From, e.To)
+			if !ok || c != e.Cost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEntryExitDuality asserts entry/exit classification matches
+// degree counts and that at least one of each exists.
+func TestQuickEntryExitDuality(t *testing.T) {
+	prop := func(v uint8, ccrSel uint8, seed uint64, deg uint8) bool {
+		g := arbitraryGraph(v, ccrSel, seed, deg)
+		entries := map[int32]bool{}
+		for _, n := range g.EntryNodes() {
+			entries[n] = true
+		}
+		exits := map[int32]bool{}
+		for _, n := range g.ExitNodes() {
+			exits[n] = true
+		}
+		if len(entries) == 0 || len(exits) == 0 {
+			return false
+		}
+		for n := int32(0); int(n) < g.NumNodes(); n++ {
+			if entries[n] != (g.InDegree(n) == 0) || exits[n] != (g.OutDegree(n) == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

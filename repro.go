@@ -1,0 +1,201 @@
+// Package repro is a Go reproduction of Kwok & Ahmad, "Optimal and
+// Near-Optimal Allocation of Precedence-Constrained Tasks to Parallel
+// Processors: Defying the High Complexity Using Effective Search
+// Techniques" (ICPP 1998): optimal multiprocessor DAG scheduling by A*
+// state-space search with processor-isomorphism / node-equivalence /
+// upper-bound pruning, a bulk-synchronous parallel A*, the approximate Aε*
+// with a proven (1+ε) bound, and the Chen & Yu branch-and-bound baseline.
+//
+// This package is the public facade over the implementation packages in
+// internal/; it re-exports the types a scheduler user needs and offers
+// one-call entry points:
+//
+//	g := repro.NewGraphBuilder("app")
+//	a := g.AddNode(2)
+//	b := g.AddNode(3)
+//	g.AddEdge(a, b, 1)
+//	graph, _ := g.Build()
+//	sys := repro.Ring(3)
+//	res, _ := repro.ScheduleOptimal(graph, sys)
+//	fmt.Println(res.Length, res.Optimal)
+//	fmt.Print(res.Schedule.Gantt(8))
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package repro
+
+import (
+	"repro/internal/bnb"
+	"repro/internal/core"
+	"repro/internal/dfbb"
+	"repro/internal/gen"
+	"repro/internal/listsched"
+	"repro/internal/parallel"
+	"repro/internal/procgraph"
+	"repro/internal/schedule"
+	"repro/internal/stg"
+	"repro/internal/taskgraph"
+	"repro/internal/trace"
+)
+
+// Re-exported model types.
+type (
+	// Graph is a node- and edge-weighted task DAG.
+	Graph = taskgraph.Graph
+	// GraphBuilder assembles a Graph.
+	GraphBuilder = taskgraph.Builder
+	// System is a target multiprocessor (or PPE interconnect).
+	System = procgraph.System
+	// SystemConfig customizes speeds and the link model.
+	SystemConfig = procgraph.Config
+	// Schedule is a complete, validatable schedule.
+	Schedule = schedule.Schedule
+	// Placement is one task's processor and time window.
+	Placement = schedule.Placement
+	// Result is a solver outcome: schedule, proven length, optimality flag,
+	// bound factor, and search statistics.
+	Result = core.Result
+	// SearchStats counts search effort.
+	SearchStats = core.Stats
+	// SolveOptions configures the serial engines.
+	SolveOptions = core.Options
+	// ParallelOptions configures the parallel engine.
+	ParallelOptions = parallel.Options
+	// ListOptions configures the list-scheduling heuristic.
+	ListOptions = listsched.Options
+	// DepthFirstOptions configures the memory-light DFBB and IDA* engines.
+	DepthFirstOptions = dfbb.Options
+	// RandomGraphConfig parameterizes the paper's §4.1 workload generator.
+	RandomGraphConfig = gen.RandomConfig
+	// SearchTracer observes expansion/generation events of a search.
+	SearchTracer = core.Tracer
+	// SearchRecorder records a search into a Figure 3/5-style tree
+	// (assign to SolveOptions.Tracer, or ParallelOptions.TracerFor via
+	// its ForPPE method) and renders it as ASCII or Graphviz.
+	SearchRecorder = trace.Recorder
+	// STGImportOptions configures ReadSTG.
+	STGImportOptions = stg.ImportOptions
+)
+
+// NewSearchRecorder starts recording a search over g.
+func NewSearchRecorder(g *Graph) *SearchRecorder { return trace.NewRecorder(g) }
+
+// ReadSTG parses a Standard Task Graph Set instance.
+var ReadSTG = stg.Read
+
+// WriteSTG emits a graph in Standard Task Graph format (edge costs are not
+// representable and are dropped).
+var WriteSTG = stg.Write
+
+// Pruning/feature toggles of the serial and parallel A* engines.
+const (
+	DisableIsomorphism   = core.DisableIsomorphism
+	DisableEquivalence   = core.DisableEquivalence
+	DisableUpperBound    = core.DisableUpperBound
+	DisablePriorityOrder = core.DisablePriorityOrder
+	DisableAllPruning    = core.DisableAllPruning
+)
+
+// NewGraphBuilder starts a task graph.
+func NewGraphBuilder(name string) *GraphBuilder { return taskgraph.NewBuilder(name) }
+
+// Topology constructors for target systems and PPE interconnects.
+var (
+	Complete  = procgraph.Complete
+	Ring      = procgraph.Ring
+	Chain     = procgraph.Chain
+	Star      = procgraph.Star
+	Mesh      = procgraph.Mesh
+	Torus     = procgraph.Torus
+	Hypercube = procgraph.Hypercube
+)
+
+// CompleteWith builds a fully connected system with a Config (heterogeneous
+// speeds, uniform links).
+var CompleteWith = procgraph.CompleteWith
+
+// Workload generators.
+var (
+	// RandomGraph generates a §4.1 random DAG.
+	RandomGraph = gen.Random
+	// PaperExample returns the Figure 1 worked-example DAG (optimal length
+	// 14 on Ring(3)).
+	PaperExample = gen.PaperExample
+	// GaussianElimination, FFT, ForkJoin, Wavefront build classic
+	// application task graphs.
+	GaussianElimination = gen.GaussianElimination
+	FFT                 = gen.FFT
+	ForkJoin            = gen.ForkJoin
+	Wavefront           = gen.Wavefront
+)
+
+// ScheduleOptimal finds a provably optimal schedule with the serial A* of
+// §3.1–3.2 (all prunings enabled).
+func ScheduleOptimal(g *Graph, sys *System) (*Result, error) {
+	return core.Solve(g, sys, core.Options{})
+}
+
+// ScheduleOptimalWith is ScheduleOptimal with explicit options (pruning
+// toggles, cutoffs, ε).
+func ScheduleOptimalWith(g *Graph, sys *System, opt SolveOptions) (*Result, error) {
+	return core.Solve(g, sys, opt)
+}
+
+// ScheduleApprox finds a schedule within (1+eps) of optimal with the Aε* of
+// §3.4.
+func ScheduleApprox(g *Graph, sys *System, eps float64) (*Result, error) {
+	return core.Solve(g, sys, core.Options{Epsilon: eps})
+}
+
+// ScheduleParallel finds a provably optimal schedule with the parallel A*
+// of §3.3 on the given number of PPE workers.
+func ScheduleParallel(g *Graph, sys *System, ppes int) (*Result, error) {
+	return parallel.Solve(g, sys, parallel.Options{PPEs: ppes})
+}
+
+// ScheduleParallelWith is ScheduleParallel with explicit options
+// (interconnect, ε, distribution policy, period floor, cutoffs).
+func ScheduleParallelWith(g *Graph, sys *System, opt ParallelOptions) (*Result, error) {
+	return parallel.Solve(g, sys, opt)
+}
+
+// ScheduleList runs the linear-time list-scheduling heuristic (the paper's
+// upper-bound provider, ref. [14]) — fast, feasible, no optimality
+// guarantee.
+func ScheduleList(g *Graph, sys *System, opt ListOptions) (*Schedule, error) {
+	return listsched.Schedule(g, sys, opt)
+}
+
+// NamedHeuristic pairs a display name with a polynomial-time scheduling
+// heuristic, for deviation studies against the optimal engines.
+type NamedHeuristic = listsched.Named
+
+// Heuristics returns every list-scheduling heuristic in the library: the
+// static-priority scheduler (b-level / bl+tl / static-level, optional
+// insertion) and the classic dynamic heuristics ETF, MCP, and DLS.
+func Heuristics() []NamedHeuristic { return listsched.All() }
+
+// ScheduleDFBB finds a provably optimal schedule by depth-first
+// branch-and-bound: the same state space, cost function, and §3.2 prunings
+// as the A* engine, but O(v) retained states — the memory-light answer to
+// the "huge memory requirement" problem the paper's §1 calls out.
+func ScheduleDFBB(g *Graph, sys *System, opt DepthFirstOptions) (*Result, error) {
+	return dfbb.Solve(g, sys, opt)
+}
+
+// ScheduleIDAStar finds a provably optimal schedule by iterative-deepening
+// A*: depth-first passes under a rising f threshold, no OPEN or CLOSED
+// lists at all.
+func ScheduleIDAStar(g *Graph, sys *System, opt DepthFirstOptions) (*Result, error) {
+	return dfbb.SolveIDA(g, sys, opt)
+}
+
+// ScheduleBnB runs the Chen & Yu branch-and-bound baseline the paper
+// compares against (§2, §4.2).
+func ScheduleBnB(g *Graph, sys *System) (*Schedule, int32, bool, error) {
+	res, err := bnb.Solve(g, sys, bnb.Options{})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return res.Schedule, res.Length, res.Optimal, nil
+}

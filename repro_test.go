@@ -1,0 +1,192 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the public API end to end on the paper's
+// worked example, as the README shows it.
+func TestFacadeQuickstart(t *testing.T) {
+	g := PaperExample()
+	sys := Ring(3)
+
+	res, err := ScheduleOptimal(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Length != 14 || !res.Optimal {
+		t.Fatalf("optimal = %d (%v), want 14/true", res.Length, res.Optimal)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	approx, err := ScheduleApprox(g, sys, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(approx.Length) > 1.5*14 {
+		t.Fatalf("Aε* length %d breaks its bound", approx.Length)
+	}
+
+	par, err := ScheduleParallel(g, sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Length != 14 || !par.Optimal {
+		t.Fatalf("parallel = %d (%v), want 14/true", par.Length, par.Optimal)
+	}
+
+	ls, err := ScheduleList(g, sys, ListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Length < 14 {
+		t.Fatalf("heuristic %d beats the optimum", ls.Length)
+	}
+
+	bnbSched, bnbLen, bnbOpt, err := ScheduleBnB(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bnbLen != 14 || !bnbOpt {
+		t.Fatalf("bnb = %d (%v), want 14/true", bnbLen, bnbOpt)
+	}
+	if err := bnbSched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeBuilderAndGenerators smoke-tests the re-exported constructors.
+func TestFacadeBuilderAndGenerators(t *testing.T) {
+	b := NewGraphBuilder("api")
+	x := b.AddNode(5)
+	y := b.AddNode(7)
+	b.AddEdge(x, y, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatal("builder broken")
+	}
+
+	rg, err := RandomGraph(RandomGraphConfig{V: 12, CCR: 1.0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.NumNodes() != 12 {
+		t.Fatal("generator broken")
+	}
+
+	for _, mk := range []func() (*Graph, error){
+		func() (*Graph, error) { return GaussianElimination(4, 10, 10) },
+		func() (*Graph, error) { return FFT(4, 10, 10) },
+		func() (*Graph, error) { return ForkJoin(3, 2, 10, 10) },
+		func() (*Graph, error) { return Wavefront(3, 10, 10) },
+	} {
+		if _, err := mk(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, sys := range []*System{Complete(4), Ring(4), Chain(4), Star(4), Mesh(2, 2), Torus(2, 2), Hypercube(2)} {
+		if sys.NumProcs() < 2 {
+			t.Fatalf("%s too small", sys.Name())
+		}
+	}
+
+	hetero := CompleteWith(2, SystemConfig{Speeds: []float64{1, 2}})
+	if !hetero.Heterogeneous() {
+		t.Fatal("heterogeneous config ignored")
+	}
+
+	res, err := ScheduleOptimalWith(rg, Complete(3), SolveOptions{Disable: DisableAllPruning, MaxExpanded: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule == nil {
+		t.Fatal("no schedule under cutoff")
+	}
+
+	par, err := ScheduleParallelWith(rg, Complete(3), ParallelOptions{PPEs: 2, MaxExpanded: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Schedule == nil {
+		t.Fatal("no parallel schedule under cutoff")
+	}
+}
+
+// TestFacadeDepthFirstEngines exercises the memory-light optimal engines
+// through the public API.
+func TestFacadeDepthFirstEngines(t *testing.T) {
+	g := PaperExample()
+	sys := Ring(3)
+	dfbb, err := ScheduleDFBB(g, sys, DepthFirstOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfbb.Length != 14 || !dfbb.Optimal {
+		t.Fatalf("DFBB = %d (%v), want 14/true", dfbb.Length, dfbb.Optimal)
+	}
+	ida, err := ScheduleIDAStar(g, sys, DepthFirstOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ida.Length != 14 || !ida.Optimal {
+		t.Fatalf("IDA* = %d (%v), want 14/true", ida.Length, ida.Optimal)
+	}
+}
+
+// TestFacadeHeuristics runs the heuristic registry end to end.
+func TestFacadeHeuristics(t *testing.T) {
+	g := PaperExample()
+	sys := Ring(3)
+	hs := Heuristics()
+	if len(hs) < 7 {
+		t.Fatalf("registry has %d heuristics; want at least 7", len(hs))
+	}
+	for _, h := range hs {
+		s, err := h.Run(g, sys)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+		if s.Length < 14 {
+			t.Fatalf("%s: length %d beats the proven optimum 14", h.Name, s.Length)
+		}
+	}
+}
+
+// TestFacadeSearchRecorder traces a solve and renders the Figure 3 tree.
+func TestFacadeSearchRecorder(t *testing.T) {
+	g := PaperExample()
+	rec := NewSearchRecorder(g)
+	if _, err := ScheduleOptimalWith(g, Ring(3), SolveOptions{Tracer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rec.WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "n1 → PE 0  f = 2 + 10") {
+		t.Fatalf("rendering missing the Figure 3 root child:\n%s", b.String())
+	}
+}
+
+// TestFacadeSTG round-trips the worked example through the STG format.
+func TestFacadeSTG(t *testing.T) {
+	g := PaperExample()
+	var b strings.Builder
+	if err := WriteSTG(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSTG(strings.NewReader(b.String()), STGImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() {
+		t.Fatalf("round trip: %d nodes; want %d", back.NumNodes(), g.NumNodes())
+	}
+}
