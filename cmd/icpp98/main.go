@@ -3,25 +3,31 @@
 //
 //	icpp98 gen -v 20 -ccr 1.0 -seed 7 > g.tg        # emit a §4.1 random DAG
 //	icpp98 analyze g.tg                             # levels, CP, CCR
-//	icpp98 schedule -algo astar -procs ring:3 g.tg  # optimal schedule + Gantt
-//	icpp98 schedule -algo aeps -eps 0.2 g.tg        # bounded-suboptimal
-//	icpp98 schedule -algo parallel -ppes 4 g.tg     # parallel A*
+//	icpp98 engines                                  # list the engine registry
+//	icpp98 schedule -engine astar -procs ring:3 g.tg # optimal schedule + Gantt
+//	icpp98 schedule -engine aeps -eps 0.2 g.tg      # bounded-suboptimal
+//	icpp98 schedule -engine parallel -ppes 4 g.tg   # parallel A*
+//	icpp98 schedule -engine dfbb g.tg               # depth-first B&B (low memory)
+//	icpp98 schedule -engine bnb g.tg                # Chen & Yu baseline
+//	icpp98 schedule -engine astar,dfbb,bnb g.tg     # portfolio race of engines
 //	icpp98 schedule -algo list g.tg                 # list-scheduling heuristic
-//	icpp98 schedule -algo dfbb g.tg                 # depth-first B&B (low memory)
-//	icpp98 schedule -algo bnb g.tg                  # Chen & Yu baseline
 //	icpp98 example                                  # the paper's Figure 1 demo
 //	icpp98 tree -ppes 2 g.tg                        # Figure 3/5 search tree
 //	icpp98 heuristics g.tg                          # heuristic-vs-optimal study
 //	icpp98 dot g.tg                                 # Graphviz export
 //	icpp98 convert -to stg g.tg > g.stg             # Standard Task Graph export
 //
-// Graph files use the text format of internal/taskgraph (graph/node/edge
-// lines); files ending in .stg are read as Standard Task Graph instances.
-// The -procs flag accepts complete:N, ring:N, chain:N, star:N, mesh:RxC,
-// hypercube:D (default complete:V).
+// -engine selects any engine registered in internal/engine (a comma list
+// races them as a portfolio and reports the winner); -algo remains for the
+// polynomial-time list heuristics (list, etf, mcp, dls) and as a shorthand
+// for engine names. Graph files use the text format of internal/taskgraph
+// (graph/node/edge lines); files ending in .stg are read as Standard Task
+// Graph instances. The -procs flag accepts complete:N, ring:N, chain:N,
+// star:N, mesh:RxC, hypercube:D (default complete:V).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,14 +35,13 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/bnb"
 	"repro/internal/core"
-	"repro/internal/dfbb"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/listsched"
-	"repro/internal/parallel"
 	"repro/internal/procgraph"
 	"repro/internal/schedule"
+	"repro/internal/solverpool"
 	"repro/internal/stg"
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
@@ -53,6 +58,8 @@ func main() {
 		cmdAnalyze(os.Args[2:])
 	case "schedule":
 		cmdSchedule(os.Args[2:])
+	case "engines":
+		cmdEngines()
 	case "example":
 		cmdExample()
 	case "tree":
@@ -69,8 +76,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: icpp98 <gen|analyze|schedule|example|tree|heuristics|dot|convert> [flags] [file]")
+	fmt.Fprintln(os.Stderr, "usage: icpp98 <gen|analyze|engines|schedule|example|tree|heuristics|dot|convert> [flags] [file]")
 	os.Exit(2)
+}
+
+// cmdEngines prints the engine registry: every name -engine accepts.
+func cmdEngines() {
+	fmt.Printf("%-10s %-12s %s\n", "engine", "paper", "description")
+	for _, e := range engine.All() {
+		section, desc := engine.Describe(e)
+		fmt.Printf("%-10s %-12s %s\n", e.Name(), section, desc)
+	}
 }
 
 func fatal(err error) {
@@ -194,10 +210,12 @@ func cmdAnalyze(args []string) {
 
 func cmdSchedule(args []string) {
 	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
-	algo := fs.String("algo", "astar", "astar | aeps | parallel | dfbb | ida | list | etf | mcp | dls | bnb")
+	engines := strings.Join(engine.Names(), " | ")
+	engName := fs.String("engine", "", "registry engine: "+engines+"; a comma list races them as a portfolio")
+	algo := fs.String("algo", "", "heuristic (list | etf | mcp | dls) or an engine-name shorthand; default astar")
 	procs := fs.String("procs", "", "target system, e.g. complete:8, ring:3, mesh:2x4 (default complete:V)")
-	eps := fs.Float64("eps", 0.2, "ε for -algo aeps")
-	ppesN := fs.Int("ppes", 4, "PPEs for -algo parallel")
+	eps := fs.Float64("eps", 0.2, "ε for the aeps engine")
+	ppesN := fs.Int("ppes", 4, "PPEs for the parallel engine")
 	budget := fs.Int64("budget", 0, "expansion budget (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = none)")
 	noPrune := fs.Bool("no-pruning", false, "disable the §3.2 prunings")
@@ -206,84 +224,94 @@ func cmdSchedule(args []string) {
 	g := loadGraph(fs.Args())
 	sys := parseSystem(*procs, g.NumNodes())
 
-	var deadline time.Time
-	if *timeout > 0 {
-		deadline = time.Now().Add(*timeout)
-	}
 	var disable core.Disable
 	if *noPrune {
 		disable = core.DisableAllPruning
+	}
+	cfg := engine.Config{
+		Disable:     disable,
+		MaxExpanded: *budget,
+		Timeout:     *timeout,
+		PPEs:        *ppesN,
+	}
+
+	// Resolve what to run: -engine wins; -algo keeps the heuristics and
+	// doubles as an engine-name shorthand; the default is the serial A*.
+	selected := *engName
+	if selected == "" {
+		selected = *algo
+	}
+	if selected == "" {
+		selected = "astar"
 	}
 
 	started := time.Now()
 	var s *schedule.Schedule
 	var optimal bool
 	var stats core.Stats
-	switch *algo {
-	case "astar", "aeps":
-		e := 0.0
-		if *algo == "aeps" {
-			e = *eps
+	label := selected
+	switch selected {
+	case "list", "etf", "mcp", "dls":
+		var ls *schedule.Schedule
+		var err error
+		switch selected {
+		case "list":
+			ls, err = listsched.Schedule(g, sys, listsched.Options{Priority: listsched.PriorityBLevel})
+		case "etf":
+			ls, err = listsched.ETF(g, sys)
+		case "mcp":
+			ls, err = listsched.MCP(g, sys)
+		case "dls":
+			ls, err = listsched.DLS(g, sys)
 		}
-		res, err := core.Solve(g, sys, core.Options{
-			Epsilon: e, Disable: disable, MaxExpanded: *budget, Deadline: deadline,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		s, optimal, stats = res.Schedule, res.Optimal, res.Stats
-	case "parallel":
-		res, err := parallel.Solve(g, sys, parallel.Options{
-			PPEs: *ppesN, Disable: disable, MaxExpanded: *budget, Deadline: deadline,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		s, optimal, stats = res.Schedule, res.Optimal, res.Stats
-	case "dfbb", "ida":
-		solve := dfbb.Solve
-		if *algo == "ida" {
-			solve = dfbb.SolveIDA
-		}
-		res, err := solve(g, sys, dfbb.Options{
-			Disable: disable, MaxExpanded: *budget, Deadline: deadline,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		s, optimal, stats = res.Schedule, res.Optimal, res.Stats
-	case "list":
-		ls, err := listsched.Schedule(g, sys, listsched.Options{Priority: listsched.PriorityBLevel})
 		if err != nil {
 			fatal(err)
 		}
 		s = ls
-	case "etf":
-		ls, err := listsched.ETF(g, sys)
-		if err != nil {
-			fatal(err)
-		}
-		s = ls
-	case "mcp":
-		ls, err := listsched.MCP(g, sys)
-		if err != nil {
-			fatal(err)
-		}
-		s = ls
-	case "dls":
-		ls, err := listsched.DLS(g, sys)
-		if err != nil {
-			fatal(err)
-		}
-		s = ls
-	case "bnb":
-		res, err := bnb.Solve(g, sys, bnb.Options{MaxExpanded: *budget, Deadline: deadline})
-		if err != nil {
-			fatal(err)
-		}
-		s, optimal, stats = res.Schedule, res.Optimal, res.Stats
 	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+		var names []string
+		for _, name := range strings.Split(selected, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		if len(names) == 0 {
+			fatal(fmt.Errorf("no engine named in %q", selected))
+		}
+		epsSet := false
+		fs.Visit(func(f *flag.Flag) { epsSet = epsSet || f.Name == "eps" })
+		if len(names) == 1 && names[0] == "aeps" {
+			cfg.Epsilon = *eps
+		} else if epsSet {
+			// Portfolio: an explicit -eps applies to the ε-capable entrants
+			// (aeps, parallel); without it the exact entrants stay exact and
+			// aeps uses its internal default.
+			cfg.Epsilon = *eps
+		}
+		if len(names) > 1 {
+			// Portfolio: race the named engines, report the winner and how
+			// far the cancelled losers got.
+			pf, err := solverpool.New(len(names)).SolvePortfolio(context.Background(), g, sys, names, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			s, optimal, stats = pf.Result.Schedule, pf.Result.Optimal, pf.Result.Stats
+			label = "portfolio:" + pf.Winner
+			for name, lose := range pf.Losers {
+				fmt.Printf("loser %-9s stopped after %d expansions (optimal=%v)\n",
+					name, lose.Stats.Expanded, lose.Optimal)
+			}
+			for name, err := range pf.Errs {
+				fmt.Printf("loser %-9s failed: %v\n", name, err)
+			}
+		} else {
+			label = names[0]
+			res, err := engine.Solve(context.Background(), names[0], g, sys, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			s, optimal, stats = res.Schedule, res.Optimal, res.Stats
+		}
 	}
 	elapsed := time.Since(started)
 
@@ -291,7 +319,7 @@ func cmdSchedule(args []string) {
 		fatal(fmt.Errorf("produced an invalid schedule (bug): %w", err))
 	}
 	fmt.Printf("algorithm=%s system=%s length=%d optimal=%v time=%v\n",
-		*algo, sys.Name(), s.Length, optimal, elapsed.Round(time.Microsecond))
+		label, sys.Name(), s.Length, optimal, elapsed.Round(time.Microsecond))
 	if stats.Expanded > 0 {
 		fmt.Printf("states: expanded=%d generated=%d duplicates=%d max-open=%d\n",
 			stats.Expanded, stats.Generated, stats.Duplicates, stats.MaxOpen)
@@ -309,7 +337,7 @@ func cmdExample() {
 	sys := procgraph.Ring(3)
 	fmt.Println("Kwok & Ahmad ICPP'98, Figure 1: 6-task DAG on a 3-processor ring")
 	fmt.Println()
-	res, err := core.Solve(g, sys, core.Options{})
+	res, err := engine.Solve(context.Background(), "astar", g, sys, engine.Config{})
 	if err != nil {
 		fatal(err)
 	}
@@ -353,7 +381,7 @@ func cmdTree(args []string) {
 	var length int32
 	var optimal bool
 	if *ppes > 1 {
-		res, err := parallel.Solve(g, sys, parallel.Options{
+		res, err := engine.Solve(context.Background(), "parallel", g, sys, engine.Config{
 			PPEs: *ppes, Epsilon: *eps, TracerFor: rec.ForPPE,
 		})
 		if err != nil {
@@ -361,7 +389,11 @@ func cmdTree(args []string) {
 		}
 		length, optimal = res.Length, res.Optimal
 	} else {
-		res, err := core.Solve(g, sys, core.Options{Epsilon: *eps, Tracer: rec})
+		name := "astar"
+		if *eps > 0 {
+			name = "aeps"
+		}
+		res, err := engine.Solve(context.Background(), name, g, sys, engine.Config{Epsilon: *eps, Tracer: rec})
 		if err != nil {
 			fatal(err)
 		}
@@ -393,7 +425,7 @@ func cmdHeuristics(args []string) {
 	g := loadGraph(fs.Args())
 	sys := parseSystem(*procs, g.NumNodes())
 
-	res, err := core.Solve(g, sys, core.Options{MaxExpanded: *budget})
+	res, err := engine.Solve(context.Background(), "astar", g, sys, engine.Config{MaxExpanded: *budget})
 	if err != nil {
 		fatal(err)
 	}

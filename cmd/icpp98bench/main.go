@@ -7,6 +7,7 @@
 //	icpp98bench -experiment ablation          # per-pruning + heuristic ablation
 //	icpp98bench -experiment distribution      # parallel placement-policy ablation
 //	icpp98bench -experiment deviation         # list heuristics vs proven optima
+//	icpp98bench -experiment engines           # every registry engine head-to-head
 //	icpp98bench -experiment all               # everything
 //
 // The default configuration trims the sweep to laptop-scale sizes; -full
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | ablation | distribution | deviation | all")
+		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | ablation | distribution | deviation | engines | all")
 		sizes      = flag.String("sizes", "", "comma-separated graph sizes (default 10,12,14,16)")
 		ccrs       = flag.String("ccrs", "", "comma-separated CCRs (default 0.1,1,10)")
 		ppes       = flag.String("ppes", "", "comma-separated PPE counts for fig6 (default 2,4,8,16)")
@@ -101,6 +102,8 @@ func main() {
 			err = bench.RunDistribution(cfg).Write(w, *format)
 		case "deviation":
 			err = bench.RunDeviation(cfg).Write(w, *format)
+		case "engines":
+			err = bench.RunEngines(cfg).Write(w, *format)
 		default:
 			err = fmt.Errorf("unknown experiment %q", name)
 		}
@@ -111,7 +114,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "ablation", "distribution", "deviation"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "ablation", "distribution", "deviation", "engines"} {
 			run(name)
 		}
 		return

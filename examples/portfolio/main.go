@@ -1,0 +1,68 @@
+// Portfolio demonstrates the concurrent solve service: a batch of
+// instances dispatched across a bounded worker pool (with the compiled
+// search model memoized per instance), then an engine race on a single
+// hard instance — every registered engine attacks the same state space and
+// the first proven optimum cancels the rest.
+//
+// Run with: go run ./examples/portfolio
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	sys := repro.Complete(3)
+
+	// --- batch: many instances, several engines, bounded concurrency ---
+	var reqs []repro.SolveRequest
+	for seed := uint64(1); seed <= 4; seed++ {
+		g, err := repro.RandomGraph(repro.RandomGraphConfig{V: 10, CCR: 1.0, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The same instance twice under different engines: the pool builds
+		// its search model once.
+		reqs = append(reqs,
+			repro.SolveRequest{Graph: g, System: sys, Engine: "astar"},
+			repro.SolveRequest{Graph: g, System: sys, Engine: "dfbb"},
+		)
+	}
+	t0 := time.Now()
+	resps := repro.SolveBatch(context.Background(), reqs)
+	fmt.Printf("== batch: %d requests in %v ==\n", len(reqs), time.Since(t0).Round(time.Millisecond))
+	for i, r := range resps {
+		if r.Err != nil {
+			log.Fatalf("request %d: %v", i, r.Err)
+		}
+		fmt.Printf("  %-22s %-8s length=%-4d optimal=%-5v expanded=%d\n",
+			reqs[i].Graph.Name(), r.Engine, r.Result.Length, r.Result.Optimal, r.Result.Stats.Expanded)
+	}
+
+	// --- portfolio: race engines, keep the first proven optimum ---
+	g, err := repro.RandomGraph(repro.RandomGraphConfig{V: 20, CCR: 1.0, MeanOutDeg: 6, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"astar", "dfbb", "ida", "bnb"}
+	t0 = time.Now()
+	pf, err := repro.SolvePortfolio(context.Background(), g, sys, names, repro.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== portfolio on %s (%v) ==\n", g.Name(), time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("winner: %-8s length=%d proven-optimal=%v expanded=%d\n",
+		pf.Winner, pf.Result.Length, pf.Result.Optimal, pf.Result.Stats.Expanded)
+	for name, lose := range pf.Losers {
+		fmt.Printf("loser:  %-8s cancelled after %d expansions (optimal=%v)\n",
+			name, lose.Stats.Expanded, lose.Optimal)
+	}
+	for name, err := range pf.Errs {
+		fmt.Printf("failed: %-8s %v\n", name, err)
+	}
+}

@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/parallel"
 )
 
@@ -31,19 +33,19 @@ type AblationResult struct {
 // serialVariants enumerates the ablated configurations of the serial engine.
 func serialVariants() []struct {
 	Name string
-	Opt  core.Options
+	Cfg  engine.Config
 } {
 	return []struct {
 		Name string
-		Opt  core.Options
+		Cfg  engine.Config
 	}{
-		{"full", core.Options{}},
-		{"no-isomorphism", core.Options{Disable: core.DisableIsomorphism}},
-		{"no-equivalence", core.Options{Disable: core.DisableEquivalence}},
-		{"no-upper-bound", core.Options{Disable: core.DisableUpperBound}},
-		{"no-priority-order", core.Options{Disable: core.DisablePriorityOrder}},
-		{"no-pruning (A* full)", core.Options{Disable: core.DisableAllPruning}},
-		{"hplus", core.Options{HFunc: core.HPlus}},
+		{"full", engine.Config{}},
+		{"no-isomorphism", engine.Config{Disable: core.DisableIsomorphism}},
+		{"no-equivalence", engine.Config{Disable: core.DisableEquivalence}},
+		{"no-upper-bound", engine.Config{Disable: core.DisableUpperBound}},
+		{"no-priority-order", engine.Config{Disable: core.DisablePriorityOrder}},
+		{"no-pruning (A* full)", engine.Config{Disable: core.DisableAllPruning}},
+		{"hplus", engine.Config{HFunc: core.HPlus}},
 	}
 }
 
@@ -56,7 +58,10 @@ func RunAblation(cfg Config) *AblationResult {
 		for _, v := range cfg.Sizes {
 			g, sys := cfg.instance(ccr, v)
 			for _, variant := range serialVariants() {
-				c := runAstar(g, sys, cfg, variant.Opt)
+				ecfg := variant.Cfg
+				ecfg.MaxExpanded = cfg.CellBudget
+				ecfg.Timeout = cfg.CellTimeout
+				c := runCell("astar", g, sys, ecfg)
 				res.Rows = append(res.Rows, AblationRow{
 					CCR: ccr, V: v, Variant: variant.Name,
 					Time: c.Time, Expanded: c.Expanded, Length: c.Length, Optimal: c.Optimal,
@@ -135,20 +140,19 @@ func RunDistribution(cfg Config) *DistributionResult {
 	for _, ccr := range cfg.CCRs {
 		for _, v := range cfg.Sizes {
 			g, sys := cfg.instance(ccr, v)
-			serial, err := core.Solve(g, sys, core.Options{MaxExpanded: cfg.CellBudget, Deadline: cfg.deadline()})
+			serial, err := engine.Solve(context.Background(), "astar", g, sys, cfg.cellConfig())
 			if err != nil || !serial.Optimal {
 				continue
 			}
 			for _, q := range cfg.PPEs {
 				for _, pol := range policies {
+					pcfg := cfg.cellConfig()
+					pcfg.PPEs = q
+					pcfg.Distribution = pol.Dist
+					pcfg.PeriodFloor = cfg.PeriodFloor
+					pcfg.MaxExpanded = cfg.CellBudget * int64(q)
 					start := time.Now()
-					par, err := parallel.Solve(g, sys, parallel.Options{
-						PPEs:         q,
-						Distribution: pol.Dist,
-						PeriodFloor:  cfg.PeriodFloor,
-						MaxExpanded:  cfg.CellBudget * int64(q),
-						Deadline:     cfg.deadline(),
-					})
+					par, err := engine.Solve(context.Background(), "parallel", g, sys, pcfg)
 					if err != nil {
 						continue
 					}

@@ -16,11 +16,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/procgraph"
 	"repro/internal/taskgraph"
 )
@@ -90,27 +92,24 @@ func Full() Config {
 	return Config{Sizes: sizes}
 }
 
-// deadline converts CellTimeout into an absolute deadline (zero when unset).
-func (c Config) deadline() time.Time {
-	if c.CellTimeout == 0 {
-		return time.Time{}
-	}
-	return time.Now().Add(c.CellTimeout)
+// cellConfig is the per-cell engine budget: the expansion cap and wall
+// clock every measured run gets.
+func (c Config) cellConfig() engine.Config {
+	return engine.Config{MaxExpanded: c.CellBudget, Timeout: c.CellTimeout}
 }
 
-// cell is one measured algorithm run.
-type cell struct {
-	Time     time.Duration
-	Expanded int64
-	Length   int32
-	Optimal  bool // false = censored by budget/timeout
-}
-
-func (c cell) timeString() string {
-	if !c.Optimal {
-		return "—"
+// runCell measures one registry engine on one instance under ecfg. Every
+// harness cell flows through this single entry point, so adding an engine
+// to the registry adds it to the benchmarks without new harness code.
+func runCell(name string, g *taskgraph.Graph, sys *procgraph.System, ecfg engine.Config) cellResult {
+	start := time.Now()
+	r, err := engine.Solve(context.Background(), name, g, sys, ecfg)
+	if err != nil {
+		return cellResult{}
 	}
-	return fmtDuration(c.Time)
+	// A censored run may carry no schedule (bnb cut off before any goal);
+	// its effort stats are still the datum the tables report.
+	return cellResult{Time: time.Since(start), Expanded: r.Stats.Expanded, Length: r.Length, Optimal: r.Optimal}
 }
 
 func fmtDuration(d time.Duration) string {

@@ -157,6 +157,36 @@ func TestRunDistribution(t *testing.T) {
 	}
 }
 
+func TestRunEngines(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Sizes = []int{8}
+	res := RunEngines(cfg)
+	if len(res.Rows) < 5 {
+		t.Fatalf("got %d rows; want one per registered engine (>= 5)", len(res.Rows))
+	}
+	var want int32 = -1
+	for _, r := range res.Rows {
+		if !r.Optimal || r.Engine == "aeps" {
+			continue
+		}
+		if want < 0 {
+			want = r.Length
+		} else if r.Length != want {
+			t.Errorf("engine %q found SL %d, others %d", r.Engine, r.Length, want)
+		}
+	}
+	if want < 0 {
+		t.Fatal("no exact engine proved optimality on the test instance")
+	}
+	var md bytes.Buffer
+	if err := res.Write(&md, "md"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "Engine comparison") {
+		t.Error("markdown missing title")
+	}
+}
+
 func TestFullConfig(t *testing.T) {
 	cfg := Full()
 	if len(cfg.Sizes) != 12 || cfg.Sizes[11] != 32 {

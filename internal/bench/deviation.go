@@ -1,10 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/listsched"
 )
 
@@ -42,9 +43,7 @@ func RunDeviation(cfg Config) *DeviationResult {
 		}
 		for _, v := range cfg.Sizes {
 			g, sys := cfg.instance(ccr, v)
-			ref, err := core.Solve(g, sys, core.Options{
-				MaxExpanded: cfg.CellBudget, Deadline: cfg.deadline(),
-			})
+			ref, err := engine.Solve(context.Background(), "astar", g, sys, cfg.cellConfig())
 			if err != nil || !ref.Optimal {
 				continue // no proven reference for this instance
 			}

@@ -1,13 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/parallel"
+	"repro/internal/engine"
 )
 
 // Fig6Point is one (v, q) measurement of the parallel A*.
@@ -43,19 +43,18 @@ func RunFig6(cfg Config) *Fig6Result {
 		for _, v := range cfg.Sizes {
 			g, sys := cfg.instance(ccr, v)
 			serialStart := time.Now()
-			serial, err := core.Solve(g, sys, core.Options{MaxExpanded: cfg.CellBudget, Deadline: cfg.deadline()})
+			serial, err := engine.Solve(context.Background(), "astar", g, sys, cfg.cellConfig())
 			if err != nil {
 				continue
 			}
 			serialTime := time.Since(serialStart)
 			for _, q := range cfg.PPEs {
+				pcfg := cfg.cellConfig()
+				pcfg.PPEs = q
+				pcfg.PeriodFloor = cfg.PeriodFloor
+				pcfg.MaxExpanded = cfg.CellBudget * int64(q)
 				parStart := time.Now()
-				par, err := parallel.Solve(g, sys, parallel.Options{
-					PPEs:        q,
-					PeriodFloor: cfg.PeriodFloor,
-					MaxExpanded: cfg.CellBudget * int64(q),
-					Deadline:    cfg.deadline(),
-				})
+				par, err := engine.Solve(context.Background(), "parallel", g, sys, pcfg)
 				if err != nil {
 					continue
 				}

@@ -1,11 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
-	"repro/internal/parallel"
+	"repro/internal/engine"
 )
 
 // Fig7Point is one (v, ε) measurement of the parallel Aε* against the
@@ -45,26 +46,21 @@ func RunFig7(cfg Config) *Fig7Result {
 		res.Series[ccr] = map[float64][]Fig7Point{}
 		for _, v := range cfg.Sizes {
 			g, sys := cfg.instance(ccr, v)
+			pcfg := cfg.cellConfig()
+			pcfg.PPEs = q
+			pcfg.PeriodFloor = cfg.PeriodFloor
+			pcfg.MaxExpanded = cfg.CellBudget * int64(q)
 			exactStart := time.Now()
-			exact, err := parallel.Solve(g, sys, parallel.Options{
-				PPEs:        q,
-				PeriodFloor: cfg.PeriodFloor,
-				MaxExpanded: cfg.CellBudget * int64(q),
-				Deadline:    cfg.deadline(),
-			})
+			exact, err := engine.Solve(context.Background(), "parallel", g, sys, pcfg)
 			if err != nil {
 				continue
 			}
 			exactTime := time.Since(exactStart)
 			for _, eps := range cfg.Epsilons {
+				acfg := pcfg
+				acfg.Epsilon = eps
 				approxStart := time.Now()
-				approx, err := parallel.Solve(g, sys, parallel.Options{
-					PPEs:        q,
-					Epsilon:     eps,
-					PeriodFloor: cfg.PeriodFloor,
-					MaxExpanded: cfg.CellBudget * int64(q),
-					Deadline:    cfg.deadline(),
-				})
+				approx, err := engine.Solve(context.Background(), "parallel", g, sys, acfg)
 				if err != nil {
 					continue
 				}

@@ -5,10 +5,8 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/bnb"
 	"repro/internal/core"
 	"repro/internal/gen"
-	"repro/internal/procgraph"
 	"repro/internal/taskgraph"
 )
 
@@ -50,34 +48,17 @@ func RunTable1(cfg Config) *Table1Result {
 	for _, ccr := range cfg.CCRs {
 		for _, v := range cfg.Sizes {
 			g, sys := cfg.instance(ccr, v)
+			ecfg := cfg.cellConfig()
 			row := Table1Row{V: v}
-			row.Chen = runChen(g, sys, cfg)
-			row.Full = runAstar(g, sys, cfg, core.Options{Disable: core.DisableAllPruning})
-			row.Astar = runAstar(g, sys, cfg, core.Options{})
+			row.Chen = runCell("bnb", g, sys, ecfg)
+			full := ecfg
+			full.Disable = core.DisableAllPruning
+			row.Full = runCell("astar", g, sys, full)
+			row.Astar = runCell("astar", g, sys, ecfg)
 			res.Blocks[ccr] = append(res.Blocks[ccr], row)
 		}
 	}
 	return res
-}
-
-func runChen(g *taskgraph.Graph, sys *procgraph.System, cfg Config) cellResult {
-	start := time.Now()
-	r, err := bnb.Solve(g, sys, bnb.Options{MaxExpanded: cfg.CellBudget, Deadline: cfg.deadline()})
-	if err != nil {
-		return cellResult{}
-	}
-	return cellResult{Time: time.Since(start), Expanded: r.Stats.Expanded, Length: r.Length, Optimal: r.Optimal}
-}
-
-func runAstar(g *taskgraph.Graph, sys *procgraph.System, cfg Config, opt core.Options) cellResult {
-	opt.MaxExpanded = cfg.CellBudget
-	opt.Deadline = cfg.deadline()
-	start := time.Now()
-	r, err := core.Solve(g, sys, opt)
-	if err != nil {
-		return cellResult{}
-	}
-	return cellResult{Time: time.Since(start), Expanded: r.Stats.Expanded, Length: r.Length, Optimal: r.Optimal}
 }
 
 // Tables renders one table per CCR in the paper's layout (columns: size,

@@ -34,12 +34,12 @@ import (
 
 // Options configures a solve.
 type Options struct {
-	// MaxExpanded, when > 0, aborts after that many expansions and returns
-	// the best schedule found so far (Optimal=false), or nil Schedule if
-	// none was reached.
-	MaxExpanded int64
-	// Deadline, when set, aborts likewise.
-	Deadline time.Time
+	// Stop, when non-nil, is polled once per expansion; returning true
+	// aborts the search, which returns the best schedule found so far
+	// (Optimal=false), or nil Schedule if none was reached. See
+	// core.Options.Stop — the shared budget checker of internal/engine is
+	// the canonical implementation.
+	Stop func(expanded int64) bool
 }
 
 // Result mirrors core.Result for the baseline engine.
@@ -69,6 +69,13 @@ func Solve(g *taskgraph.Graph, sys *procgraph.System, opt Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	return SolveModel(m, opt)
+}
+
+// SolveModel is Solve for a prebuilt model (the engine reads only the
+// model's graph and system; its cost function is deliberately its own).
+func SolveModel(m *core.Model, opt Options) (*Result, error) {
+	g, sys := m.G, m.Sys
 	started := time.Now()
 	e := &engine{
 		g: g, sys: sys,
@@ -80,7 +87,6 @@ func Solve(g *taskgraph.Graph, sys *procgraph.System, opt Options) (*Result, err
 		estSet:   make([]bool, g.NumNodes()),
 		visited:  map[uint64][]*state{},
 	}
-	_ = m
 	for n := range e.est {
 		e.est[n] = make([]int32, e.p)
 	}
@@ -117,11 +123,7 @@ func Solve(g *taskgraph.Graph, sys *procgraph.System, opt Options) (*Result, err
 		if goalBest != nil && s.f >= goalBest.f {
 			break
 		}
-		if opt.MaxExpanded > 0 && e.stats.Expanded >= opt.MaxExpanded {
-			optimal = false
-			break
-		}
-		if !opt.Deadline.IsZero() && e.stats.Expanded%1024 == 0 && time.Now().After(opt.Deadline) {
+		if opt.Stop != nil && opt.Stop(e.stats.Expanded) {
 			optimal = false
 			break
 		}

@@ -79,7 +79,7 @@ func TestMatchesBruteForceQuick(t *testing.T) {
 func TestCutoff(t *testing.T) {
 	g := gen.MustRandom(gen.RandomConfig{V: 16, CCR: 1.0, Seed: 5})
 	sys := procgraph.Complete(4)
-	res, err := Solve(g, sys, Options{MaxExpanded: 50})
+	res, err := Solve(g, sys, Options{Stop: func(expanded int64) bool { return expanded >= 50 }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,11 +100,12 @@ func TestCutoff(t *testing.T) {
 func TestCostFunctionIsSlowerPerState(t *testing.T) {
 	g := gen.MustRandom(gen.RandomConfig{V: 12, CCR: 1.0, Seed: 9})
 	sys := procgraph.Complete(6)
-	a, err := core.Solve(g, sys, core.Options{Disable: core.DisableAllPruning, MaxExpanded: 4000})
+	budget := func(expanded int64) bool { return expanded >= 4000 }
+	a, err := core.Solve(g, sys, core.Options{Disable: core.DisableAllPruning, Stop: budget})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Solve(g, sys, Options{MaxExpanded: 4000})
+	b, err := Solve(g, sys, Options{Stop: budget})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -67,11 +67,13 @@ type Options struct {
 	HFunc HFunc
 	// UpperBound, when > 0, overrides the list-scheduling upper bound U.
 	UpperBound int32
-	// MaxExpanded, when > 0, aborts the search after that many expansions
-	// and returns the best schedule found so far (Optimal=false).
-	MaxExpanded int64
-	// Deadline, when set, aborts the search at that time likewise.
-	Deadline time.Time
+	// Stop, when non-nil, is polled once per expansion with the running
+	// expansion count; returning true aborts the search, which then returns
+	// the best schedule found so far (Optimal=false). Every engine polls it
+	// at the same cadence. The canonical implementation is the
+	// context/deadline/expansion-cap Budget of internal/engine — engines
+	// carry no private cutoff plumbing of their own.
+	Stop func(expanded int64) bool
 	// Tracer, when non-nil, receives search events (see Tracer).
 	Tracer Tracer
 }

@@ -69,7 +69,6 @@ func SolveModel(m *Model, opt Options) (*Result, error) {
 		open.Push(c)
 	}
 
-	cut := newCutoff(opt)
 	exp.Expand(Root(), visited, emit)
 	proved := false
 	cutOff := false
@@ -86,7 +85,7 @@ func SolveModel(m *Model, opt Options) (*Result, error) {
 			proved = true
 			break
 		}
-		if cut.hit(stats.Expanded) {
+		if opt.Stop != nil && opt.Stop(stats.Expanded) {
 			cutOff = true
 			break
 		}
@@ -134,24 +133,4 @@ func ResolveUpperBound(m *Model, opt Options) (int32, *schedule.Schedule, error)
 		ub = 0
 	}
 	return ub, ls, nil
-}
-
-type cutoff struct {
-	maxExpanded int64
-	deadline    time.Time
-	checkEvery  int64
-}
-
-func newCutoff(opt Options) cutoff {
-	return cutoff{maxExpanded: opt.MaxExpanded, deadline: opt.Deadline, checkEvery: 1024}
-}
-
-func (c *cutoff) hit(expanded int64) bool {
-	if c.maxExpanded > 0 && expanded >= c.maxExpanded {
-		return true
-	}
-	if !c.deadline.IsZero() && expanded%c.checkEvery == 0 && time.Now().After(c.deadline) {
-		return true
-	}
-	return false
 }

@@ -217,7 +217,7 @@ func TestUpperBoundIsAchievable(t *testing.T) {
 func TestCutoffBehaviour(t *testing.T) {
 	g := gen.MustRandom(gen.RandomConfig{V: 18, CCR: 1.0, Seed: 77})
 	sys := procgraph.Complete(4)
-	res, err := Solve(g, sys, Options{MaxExpanded: 100})
+	res, err := Solve(g, sys, Options{Stop: func(expanded int64) bool { return expanded >= 100 }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,8 @@ func TestCutoffBehaviour(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	res2, err := Solve(g, sys, Options{Deadline: time.Now().Add(50 * time.Millisecond)})
+	deadline := time.Now().Add(50 * time.Millisecond)
+	res2, err := Solve(g, sys, Options{Stop: func(int64) bool { return time.Now().After(deadline) }})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -47,11 +47,11 @@ type Options struct {
 	// memory proportional to the states generated, bought back as time —
 	// the inverse of the engines' usual trade. IDA* ignores it.
 	UseVisited bool
-	// MaxExpanded, when > 0, aborts after that many expansions and returns
-	// the incumbent (Optimal=false).
-	MaxExpanded int64
-	// Deadline, when set, aborts the search at that time likewise.
-	Deadline time.Time
+	// Stop, when non-nil, is polled once per expansion; returning true
+	// aborts the search, which returns the incumbent (Optimal=false). See
+	// core.Options.Stop — the shared budget checker of internal/engine is
+	// the canonical implementation.
+	Stop func(expanded int64) bool
 }
 
 const inf = int32(1) << 30
@@ -101,9 +101,8 @@ type searcher struct {
 	threshold  int32
 	nextThresh int32
 
-	maxExpanded int64
-	deadline    time.Time
-	stopped     bool
+	stop    func(expanded int64) bool
+	stopped bool
 
 	children []*core.State // reusable collection buffer
 }
@@ -114,8 +113,7 @@ func newSearcher(m *core.Model, opt Options) (*searcher, *core.Result, error) {
 		incumbentLen: inf,
 		threshold:    inf, // DFBB: no pass bound
 		nextThresh:   inf,
-		maxExpanded:  opt.MaxExpanded,
-		deadline:     opt.Deadline,
+		stop:         opt.Stop,
 	}
 	ub, fallbackSched, err := core.ResolveUpperBound(m, core.Options{
 		Disable:    opt.Disable,
@@ -146,16 +144,12 @@ func newSearcher(m *core.Model, opt Options) (*searcher, *core.Result, error) {
 	return d, fb, nil
 }
 
-// cut reports whether a cutoff has fired (and latches it).
+// cut reports whether the caller-supplied cutoff has fired (and latches it).
 func (d *searcher) cut() bool {
 	if d.stopped {
 		return true
 	}
-	if d.maxExpanded > 0 && d.stats.Expanded >= d.maxExpanded {
-		d.stopped = true
-		return true
-	}
-	if !d.deadline.IsZero() && d.stats.Expanded%512 == 0 && time.Now().After(d.deadline) {
+	if d.stop != nil && d.stop(d.stats.Expanded) {
 		d.stopped = true
 		return true
 	}

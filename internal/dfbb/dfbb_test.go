@@ -217,7 +217,7 @@ func TestDFBBHPlus(t *testing.T) {
 func TestDFBBCutoffReturnsFeasible(t *testing.T) {
 	g := gen.MustRandom(gen.RandomConfig{V: 12, CCR: 10.0, Seed: 8})
 	sys := procgraph.Complete(4)
-	res, err := Solve(g, sys, Options{MaxExpanded: 1})
+	res, err := Solve(g, sys, Options{Stop: func(expanded int64) bool { return expanded >= 1 }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,8 @@ func TestDFBBCutoffReturnsFeasible(t *testing.T) {
 func TestDFBBDeadlineCutoff(t *testing.T) {
 	g := gen.MustRandom(gen.RandomConfig{V: 12, CCR: 10.0, Seed: 9})
 	sys := procgraph.Complete(4)
-	res, err := Solve(g, sys, Options{Deadline: time.Now().Add(-time.Second)})
+	deadline := time.Now().Add(-time.Second)
+	res, err := Solve(g, sys, Options{Stop: func(int64) bool { return time.Now().After(deadline) }})
 	if err != nil {
 		t.Fatal(err)
 	}

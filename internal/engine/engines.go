@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/bnb"
+	"repro/internal/core"
+	"repro/internal/dfbb"
+	"repro/internal/parallel"
+)
+
+// funcEngine adapts a solve function plus metadata to the Engine contract.
+type funcEngine struct {
+	name    string
+	section string
+	desc    string
+	solve   func(ctx context.Context, m *core.Model, cfg Config) (*core.Result, error)
+}
+
+func (e *funcEngine) Name() string { return e.name }
+
+func (e *funcEngine) Describe() (string, string) { return e.section, e.desc }
+
+func (e *funcEngine) Solve(ctx context.Context, m *core.Model, cfg Config) (*core.Result, error) {
+	return e.solve(ctx, m, cfg)
+}
+
+// coreOptions translates the unified Config into the serial engine's
+// options, wiring in the shared budget checker.
+func coreOptions(ctx context.Context, cfg Config) core.Options {
+	return core.Options{
+		Disable:    cfg.Disable,
+		Epsilon:    cfg.Epsilon,
+		HFunc:      cfg.HFunc,
+		UpperBound: cfg.UpperBound,
+		Tracer:     cfg.Tracer,
+		Stop:       cfg.stopFunc(ctx),
+	}
+}
+
+func depthFirstOptions(ctx context.Context, cfg Config) dfbb.Options {
+	return dfbb.Options{
+		Disable:    cfg.Disable,
+		HFunc:      cfg.HFunc,
+		UpperBound: cfg.UpperBound,
+		UseVisited: cfg.UseVisited,
+		Stop:       cfg.stopFunc(ctx),
+	}
+}
+
+func init() {
+	Register(&funcEngine{
+		name:    "astar",
+		section: "§3.1–3.2",
+		desc:    "serial A*: optimal, all prunings, memory grows with generated states",
+		solve: func(ctx context.Context, m *core.Model, cfg Config) (*core.Result, error) {
+			opt := coreOptions(ctx, cfg)
+			opt.Epsilon = 0 // exact search; "aeps" is the ε variant
+			return core.SolveModel(m, opt)
+		},
+	})
+	Register(&funcEngine{
+		name:    "aeps",
+		section: "§3.4",
+		desc:    "serial Aε*: within (1+ε) of optimal (default ε 0.2), FOCAL-list search",
+		solve: func(ctx context.Context, m *core.Model, cfg Config) (*core.Result, error) {
+			opt := coreOptions(ctx, cfg)
+			if opt.Epsilon <= 0 {
+				opt.Epsilon = 0.2
+			}
+			return core.SolveModel(m, opt)
+		},
+	})
+	Register(&funcEngine{
+		name:    "dfbb",
+		section: "§1 (memory)",
+		desc:    "depth-first branch-and-bound: optimal, O(v) retained states",
+		solve: func(ctx context.Context, m *core.Model, cfg Config) (*core.Result, error) {
+			return dfbb.SolveModel(m, depthFirstOptions(ctx, cfg))
+		},
+	})
+	Register(&funcEngine{
+		name:    "ida",
+		section: "§1 (memory)",
+		desc:    "iterative-deepening A*: optimal, no OPEN/CLOSED lists at all",
+		solve: func(ctx context.Context, m *core.Model, cfg Config) (*core.Result, error) {
+			return dfbb.SolveIDAModel(m, depthFirstOptions(ctx, cfg))
+		},
+	})
+	Register(&funcEngine{
+		name:    "bnb",
+		section: "§2, §4.2",
+		desc:    "Chen & Yu branch-and-bound baseline: optimal, expensive per-state bound",
+		solve: func(ctx context.Context, m *core.Model, cfg Config) (*core.Result, error) {
+			r, err := bnb.SolveModel(m, bnb.Options{Stop: cfg.stopFunc(ctx)})
+			if err != nil {
+				return nil, err
+			}
+			res := &core.Result{
+				Schedule: r.Schedule,
+				Length:   r.Length,
+				Optimal:  r.Optimal,
+				Stats:    r.Stats,
+			}
+			if r.Optimal {
+				res.BoundFactor = 1
+			}
+			return res, nil
+		},
+	})
+	Register(&funcEngine{
+		name:    "parallel",
+		section: "§3.3, §4.4",
+		desc:    "bulk-synchronous parallel A*/Aε* on q PPE workers (default 4)",
+		solve: func(ctx context.Context, m *core.Model, cfg Config) (*core.Result, error) {
+			ppes := cfg.PPEs
+			if ppes < 1 {
+				ppes = 4
+			}
+			return parallel.SolveModel(m, parallel.Options{
+				PPEs:         ppes,
+				Interconnect: cfg.Interconnect,
+				Epsilon:      cfg.Epsilon,
+				Disable:      cfg.Disable,
+				HFunc:        cfg.HFunc,
+				UpperBound:   cfg.UpperBound,
+				PeriodFloor:  cfg.PeriodFloor,
+				Distribution: cfg.Distribution,
+				TracerFor:    cfg.TracerFor,
+				Stop:         cfg.stopFunc(ctx),
+			})
+		},
+	})
+}

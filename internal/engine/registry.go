@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The registry maps engine names to implementations. Engines register in
+// their package's (or this package's) init; callers select by name at run
+// time, so new engines are plug-ins rather than new switch arms in every
+// layer above.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Engine{}
+)
+
+// Register adds e under its Name. Registering an empty name or the same
+// name twice is a programming error and panics, matching the behaviour of
+// database/sql-style registries.
+func Register(e Engine) {
+	name := e.Name()
+	if name == "" {
+		panic("engine: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("engine: Register called twice for %q", name))
+	}
+	registry[name] = e
+}
+
+// Lookup returns the engine registered under name. Unknown names return an
+// error listing the registered engines, so CLI typos are self-explaining.
+func Lookup(name string) (Engine, error) {
+	regMu.RLock()
+	e, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown engine %q (registered: %s)", name, strings.Join(Names(), ", "))
+	}
+	return e, nil
+}
+
+// All returns every registered engine, sorted by name.
+func All() []Engine {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Engine, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Names returns the sorted names of every registered engine.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the engine's (section, description) metadata when it
+// implements Describer, or empty strings otherwise.
+func Describe(e Engine) (section, desc string) {
+	if d, ok := e.(Describer); ok {
+		return d.Describe()
+	}
+	return "", ""
+}

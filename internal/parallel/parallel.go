@@ -87,11 +87,11 @@ type Options struct {
 	// Distribution selects the state-placement policy (default: the paper's
 	// neighbor round-robin).
 	Distribution Distribution
-	// MaxExpanded, when > 0, cuts the search off after that many total
-	// expansions across all PPEs.
-	MaxExpanded int64
-	// Deadline, when set, cuts the search off at that time.
-	Deadline time.Time
+	// Stop, when non-nil, is polled between rounds with the total expansion
+	// count across all PPEs; returning true cuts the search off. See
+	// core.Options.Stop — the shared budget checker of internal/engine is
+	// the canonical implementation.
+	Stop func(expanded int64) bool
 	// TracerFor, when non-nil, supplies one core.Tracer per PPE; PPE i's
 	// expander reports its expansion/generation events to TracerFor(i).
 	// The initial seeding phase (§3.3 cases 1–3) runs on PPE 0's expander
@@ -338,12 +338,7 @@ func solve(m *core.Model, opt Options) (*core.Result, error) {
 			proved = true
 			break
 		}
-		tot := totals()
-		if opt.MaxExpanded > 0 && tot.Expanded >= opt.MaxExpanded {
-			cutOff = true
-			break
-		}
-		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+		if opt.Stop != nil && opt.Stop(totals().Expanded) {
 			cutOff = true
 			break
 		}

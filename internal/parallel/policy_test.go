@@ -84,7 +84,8 @@ func TestRoundsShrinkWithLargerFloor(t *testing.T) {
 func TestDeadlineCutoffReturnsFeasible(t *testing.T) {
 	g := gen.MustRandom(gen.RandomConfig{V: 16, CCR: 10.0, Seed: 2})
 	sys := procgraph.Complete(4)
-	res, err := Solve(g, sys, Options{PPEs: 4, Deadline: time.Now().Add(-time.Second)})
+	deadline := time.Now().Add(-time.Second)
+	res, err := Solve(g, sys, Options{PPEs: 4, Stop: func(int64) bool { return time.Now().After(deadline) }})
 	if err != nil {
 		t.Fatal(err)
 	}

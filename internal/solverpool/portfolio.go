@@ -1,0 +1,106 @@
+package solverpool
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/procgraph"
+	"repro/internal/taskgraph"
+)
+
+// PortfolioResult reports a race of several engines on one instance.
+type PortfolioResult struct {
+	// Winner is the engine whose result is returned: the first to prove
+	// optimality, or — when no engine proved it before every entrant
+	// finished or the context expired — the engine with the best length.
+	Winner string
+	// Result is the winner's result.
+	Result *core.Result
+	// Losers holds every other entrant's result at the moment it stopped.
+	// A loser cancelled mid-search reports Optimal=false with the partial
+	// stats it had accumulated — the observable proof it was stopped early.
+	// A loser that finished in the narrow window before the cancellation
+	// reached it may report Optimal=true; it simply lost the race.
+	Losers map[string]*core.Result
+	// Errs holds entrants that failed outright (unknown engine, invalid
+	// instance); they do not appear in Losers.
+	Errs map[string]error
+}
+
+// SolvePortfolio races the named engines (every registered engine when
+// names is empty) on one instance and returns as soon as one proves
+// optimality, cancelling the rest. All entrants share the pool's memoized
+// model, so the race costs one model compilation regardless of width.
+// Entrants run on their own goroutines rather than the batch workers: a
+// race only makes sense when its entrants actually run concurrently.
+func (p *Pool) SolvePortfolio(ctx context.Context, g *taskgraph.Graph, sys *procgraph.System, names []string, cfg engine.Config) (*PortfolioResult, error) {
+	if len(names) == 0 {
+		names = engine.Names()
+	}
+	engines := make([]engine.Engine, 0, len(names))
+	errs := map[string]error{}
+	for _, name := range names {
+		e, err := engine.Lookup(name)
+		if err != nil {
+			errs[name] = err
+			continue
+		}
+		engines = append(engines, e)
+	}
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("solverpool: portfolio has no runnable engines")
+	}
+	m, err := p.Model(g, sys)
+	if err != nil {
+		return nil, err
+	}
+
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type entry struct {
+		name string
+		res  *core.Result
+		err  error
+	}
+	done := make(chan entry, len(engines))
+	for _, e := range engines {
+		go func(e engine.Engine) {
+			res, err := e.Solve(raceCtx, m, cfg)
+			done <- entry{name: e.Name(), res: res, err: err}
+		}(e)
+	}
+
+	out := &PortfolioResult{Losers: map[string]*core.Result{}, Errs: errs}
+	for range engines {
+		got := <-done
+		switch {
+		case got.err != nil:
+			out.Errs[got.name] = got.err
+		case out.Winner == "" && got.res.Optimal:
+			// First proven optimum wins; stop everyone still searching.
+			out.Winner, out.Result = got.name, got.res
+			cancel()
+		default:
+			out.Losers[got.name] = got.res
+		}
+	}
+	if out.Winner == "" {
+		// Nobody proved optimality (budgets, cancellation, or ε runs):
+		// promote the best finisher so the caller still gets a schedule.
+		for name, res := range out.Losers {
+			if res.Schedule == nil {
+				continue
+			}
+			if out.Result == nil || res.Length < out.Result.Length {
+				out.Winner, out.Result = name, res
+			}
+		}
+		if out.Result == nil {
+			return nil, fmt.Errorf("solverpool: no portfolio entrant produced a schedule")
+		}
+		delete(out.Losers, out.Winner)
+	}
+	return out, nil
+}

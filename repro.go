@@ -20,19 +20,26 @@
 //	fmt.Println(res.Length, res.Optimal)
 //	fmt.Print(res.Schedule.Gantt(8))
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every table and figure.
+// Every optimal engine is a named plug-in in the internal/engine registry
+// (Engines lists them); Solve runs any of them by name, SolveBatch runs
+// many requests over a bounded worker pool, and SolvePortfolio races
+// several engines on one instance, cancelling the losers as soon as one
+// proves optimality.
+//
+// See README.md for the quickstart and the engine table, and DESIGN.md for
+// the system inventory and benchmark instructions.
 package repro
 
 import (
-	"repro/internal/bnb"
+	"context"
+
 	"repro/internal/core"
-	"repro/internal/dfbb"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/listsched"
-	"repro/internal/parallel"
 	"repro/internal/procgraph"
 	"repro/internal/schedule"
+	"repro/internal/solverpool"
 	"repro/internal/stg"
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
@@ -57,24 +64,44 @@ type (
 	Result = core.Result
 	// SearchStats counts search effort.
 	SearchStats = core.Stats
-	// SolveOptions configures the serial engines.
-	SolveOptions = core.Options
-	// ParallelOptions configures the parallel engine.
-	ParallelOptions = parallel.Options
+	// EngineConfig is the consolidated configuration every registry engine
+	// accepts: pruning toggles, ε, heuristic, upper bound, expansion/time
+	// budgets, tracers, and the parallel/depth-first extras.
+	EngineConfig = engine.Config
+	// SolveOptions configures the serial engines. It is the same type as
+	// EngineConfig — every engine shares one configuration.
+	SolveOptions = engine.Config
+	// ParallelOptions configures the parallel engine (same type as
+	// EngineConfig).
+	ParallelOptions = engine.Config
+	// DepthFirstOptions configures the memory-light DFBB and IDA* engines
+	// (same type as EngineConfig).
+	DepthFirstOptions = engine.Config
 	// ListOptions configures the list-scheduling heuristic.
 	ListOptions = listsched.Options
-	// DepthFirstOptions configures the memory-light DFBB and IDA* engines.
-	DepthFirstOptions = dfbb.Options
 	// RandomGraphConfig parameterizes the paper's §4.1 workload generator.
 	RandomGraphConfig = gen.RandomConfig
 	// SearchTracer observes expansion/generation events of a search.
 	SearchTracer = core.Tracer
 	// SearchRecorder records a search into a Figure 3/5-style tree
-	// (assign to SolveOptions.Tracer, or ParallelOptions.TracerFor via
-	// its ForPPE method) and renders it as ASCII or Graphviz.
+	// (assign to SolveOptions.Tracer, or EngineConfig.TracerFor for the
+	// parallel engine via its ForPPE method) and renders it as ASCII or
+	// Graphviz.
 	SearchRecorder = trace.Recorder
 	// STGImportOptions configures ReadSTG.
 	STGImportOptions = stg.ImportOptions
+
+	// Pool is the concurrent batch/portfolio solve service: a bounded
+	// worker pool with model memoization by instance digest.
+	Pool = solverpool.Pool
+	// SolveRequest is one batch job: an instance plus engine name and
+	// configuration.
+	SolveRequest = solverpool.Request
+	// SolveResponse is one batch outcome.
+	SolveResponse = solverpool.Response
+	// PortfolioResult reports an engine race: the winner, its result, and
+	// the cancelled losers with their partial stats.
+	PortfolioResult = solverpool.PortfolioResult
 )
 
 // NewSearchRecorder starts recording a search over g.
@@ -129,34 +156,69 @@ var (
 	Wavefront           = gen.Wavefront
 )
 
+// Engines returns the names of every registered search engine, sorted.
+func Engines() []string { return engine.Names() }
+
+// EngineInfo describes one registered engine for listings.
+type EngineInfo struct {
+	Name        string
+	Section     string // paper section the engine implements
+	Description string
+}
+
+// EngineTable returns metadata for every registered engine, sorted by name.
+func EngineTable() []EngineInfo {
+	var out []EngineInfo
+	for _, e := range engine.All() {
+		section, desc := engine.Describe(e)
+		out = append(out, EngineInfo{Name: e.Name(), Section: section, Description: desc})
+	}
+	return out
+}
+
+// Solve runs the named registry engine ("astar", "aeps", "dfbb", "ida",
+// "bnb", "parallel", ...) on the instance. Cancelling ctx stops the search
+// promptly and yields the best schedule found so far with Optimal=false.
+func Solve(ctx context.Context, g *Graph, sys *System, engineName string, cfg EngineConfig) (*Result, error) {
+	return engine.Solve(ctx, engineName, g, sys, cfg)
+}
+
 // ScheduleOptimal finds a provably optimal schedule with the serial A* of
 // §3.1–3.2 (all prunings enabled).
 func ScheduleOptimal(g *Graph, sys *System) (*Result, error) {
-	return core.Solve(g, sys, core.Options{})
+	return Solve(context.Background(), g, sys, "astar", EngineConfig{})
 }
 
 // ScheduleOptimalWith is ScheduleOptimal with explicit options (pruning
-// toggles, cutoffs, ε).
+// toggles, cutoffs, ε — Epsilon > 0 selects the Aε* engine).
 func ScheduleOptimalWith(g *Graph, sys *System, opt SolveOptions) (*Result, error) {
-	return core.Solve(g, sys, opt)
+	name := "astar"
+	if opt.Epsilon > 0 {
+		name = "aeps"
+	}
+	return Solve(context.Background(), g, sys, name, opt)
 }
 
 // ScheduleApprox finds a schedule within (1+eps) of optimal with the Aε* of
-// §3.4.
+// §3.4. eps <= 0 degenerates to the exact serial A* (a 0-deviation bound),
+// so sweeps down to zero keep their guarantee.
 func ScheduleApprox(g *Graph, sys *System, eps float64) (*Result, error) {
-	return core.Solve(g, sys, core.Options{Epsilon: eps})
+	if eps <= 0 {
+		return Solve(context.Background(), g, sys, "astar", EngineConfig{})
+	}
+	return Solve(context.Background(), g, sys, "aeps", EngineConfig{Epsilon: eps})
 }
 
 // ScheduleParallel finds a provably optimal schedule with the parallel A*
 // of §3.3 on the given number of PPE workers.
 func ScheduleParallel(g *Graph, sys *System, ppes int) (*Result, error) {
-	return parallel.Solve(g, sys, parallel.Options{PPEs: ppes})
+	return Solve(context.Background(), g, sys, "parallel", EngineConfig{PPEs: ppes})
 }
 
 // ScheduleParallelWith is ScheduleParallel with explicit options
 // (interconnect, ε, distribution policy, period floor, cutoffs).
 func ScheduleParallelWith(g *Graph, sys *System, opt ParallelOptions) (*Result, error) {
-	return parallel.Solve(g, sys, opt)
+	return Solve(context.Background(), g, sys, "parallel", opt)
 }
 
 // ScheduleList runs the linear-time list-scheduling heuristic (the paper's
@@ -180,22 +242,47 @@ func Heuristics() []NamedHeuristic { return listsched.All() }
 // as the A* engine, but O(v) retained states — the memory-light answer to
 // the "huge memory requirement" problem the paper's §1 calls out.
 func ScheduleDFBB(g *Graph, sys *System, opt DepthFirstOptions) (*Result, error) {
-	return dfbb.Solve(g, sys, opt)
+	return Solve(context.Background(), g, sys, "dfbb", opt)
 }
 
 // ScheduleIDAStar finds a provably optimal schedule by iterative-deepening
 // A*: depth-first passes under a rising f threshold, no OPEN or CLOSED
 // lists at all.
 func ScheduleIDAStar(g *Graph, sys *System, opt DepthFirstOptions) (*Result, error) {
-	return dfbb.SolveIDA(g, sys, opt)
+	return Solve(context.Background(), g, sys, "ida", opt)
 }
 
 // ScheduleBnB runs the Chen & Yu branch-and-bound baseline the paper
 // compares against (§2, §4.2).
 func ScheduleBnB(g *Graph, sys *System) (*Schedule, int32, bool, error) {
-	res, err := bnb.Solve(g, sys, bnb.Options{})
+	res, err := Solve(context.Background(), g, sys, "bnb", EngineConfig{})
 	if err != nil {
 		return nil, 0, false, err
 	}
 	return res.Schedule, res.Length, res.Optimal, nil
+}
+
+// NewPool returns a concurrent solve service running at most workers
+// solves at once (workers < 1 selects GOMAXPROCS). Pools memoize the
+// compiled search model of each distinct (graph, system) instance, so
+// resolving the same instance — or racing engines on it — costs one model
+// build.
+func NewPool(workers int) *Pool { return solverpool.New(workers) }
+
+// defaultPool serves the package-level batch/portfolio calls.
+var defaultPool = solverpool.New(0)
+
+// SolveBatch runs many solve requests concurrently over a bounded worker
+// pool and returns the responses in request order. Each request carries
+// its own engine name and budget; cancelling ctx stops everything promptly.
+func SolveBatch(ctx context.Context, reqs []SolveRequest) []SolveResponse {
+	return defaultPool.SolveBatch(ctx, reqs)
+}
+
+// SolvePortfolio races the named engines (all registered engines when
+// names is empty) on one instance, returns as soon as one proves
+// optimality, and cancels the rest; the losers' partial stats record how
+// far they got before being stopped.
+func SolvePortfolio(ctx context.Context, g *Graph, sys *System, names []string, cfg EngineConfig) (*PortfolioResult, error) {
+	return defaultPool.SolvePortfolio(ctx, g, sys, names, cfg)
 }

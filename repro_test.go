@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -28,6 +29,15 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 	if float64(approx.Length) > 1.5*14 {
 		t.Fatalf("Aε* length %d breaks its bound", approx.Length)
+	}
+
+	// eps <= 0 must stay an exact search, not the aeps default ε.
+	exact0, err := ScheduleApprox(g, sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact0.Length != 14 || !exact0.Optimal {
+		t.Fatalf("ScheduleApprox(eps=0) = %d (%v), want exact 14/true", exact0.Length, exact0.Optimal)
 	}
 
 	par, err := ScheduleParallel(g, sys, 2)
@@ -172,6 +182,98 @@ func TestFacadeSearchRecorder(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "n1 → PE 0  f = 2 + 10") {
 		t.Fatalf("rendering missing the Figure 3 root child:\n%s", b.String())
+	}
+}
+
+// TestFacadeEngineRegistry asserts the registry surface of the facade:
+// every ported engine is listed, described, and runnable by name.
+func TestFacadeEngineRegistry(t *testing.T) {
+	names := Engines()
+	if len(names) < 5 {
+		t.Fatalf("Engines() lists %d engines; want at least 5", len(names))
+	}
+	table := EngineTable()
+	if len(table) != len(names) {
+		t.Fatalf("EngineTable has %d rows for %d engines", len(table), len(names))
+	}
+	for _, info := range table {
+		if info.Name == "" || info.Section == "" || info.Description == "" {
+			t.Errorf("incomplete engine info: %+v", info)
+		}
+	}
+
+	g := PaperExample()
+	sys := Ring(3)
+	for _, name := range []string{"astar", "dfbb", "ida", "bnb", "parallel"} {
+		res, err := Solve(context.Background(), g, sys, name, EngineConfig{})
+		if err != nil {
+			t.Fatalf("Solve(%q): %v", name, err)
+		}
+		if res.Length != 14 || !res.Optimal {
+			t.Errorf("Solve(%q) = %d (%v), want 14/true", name, res.Length, res.Optimal)
+		}
+	}
+	if _, err := Solve(context.Background(), g, sys, "nope", EngineConfig{}); err == nil {
+		t.Error("unknown engine name did not error")
+	}
+}
+
+// TestFacadeSolveBatch runs a batch through the package-level pool.
+func TestFacadeSolveBatch(t *testing.T) {
+	g := PaperExample()
+	sys := Ring(3)
+	resps := SolveBatch(context.Background(), []SolveRequest{
+		{Graph: g, System: sys, Engine: "astar"},
+		{Graph: g, System: sys, Engine: "dfbb"},
+		{Graph: g, System: sys, Engine: "parallel"},
+	})
+	for i, r := range resps {
+		if r.Err != nil {
+			t.Fatalf("request %d (%s): %v", i, r.Engine, r.Err)
+		}
+		if r.Result.Length != 14 || !r.Result.Optimal {
+			t.Errorf("request %d (%s): %d (%v), want 14/true", i, r.Engine, r.Result.Length, r.Result.Optimal)
+		}
+	}
+}
+
+// TestFacadePortfolio races engines on a 20-node random graph: the winner
+// must prove optimality and the cancelled loser must show it stopped early.
+func TestFacadePortfolio(t *testing.T) {
+	g, err := RandomGraph(RandomGraphConfig{V: 20, CCR: 1.0, MeanOutDeg: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Complete(3)
+	pf, err := SolvePortfolio(context.Background(), g, sys, []string{"astar", "bnb"}, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Winner == "" {
+		t.Fatal("portfolio reported no winner")
+	}
+	if !pf.Result.Optimal {
+		t.Fatalf("portfolio winner %q did not prove optimality", pf.Winner)
+	}
+	if err := pf.Result.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Losers) == 0 {
+		t.Fatal("portfolio reported no losers")
+	}
+	// bnb needs ~7x astar's wall time on this instance, so it must have
+	// been cancelled mid-search: non-optimal, with partial stats recording
+	// how far it got. (A loser that finishes before the cancellation
+	// reaches it may legitimately report Optimal=true; bnb cannot here.)
+	lose, ok := pf.Losers["bnb"]
+	if !ok {
+		t.Fatalf("bnb missing from losers: %v", pf.Losers)
+	}
+	if lose.Optimal {
+		t.Error("bnb claims optimality; it should have been cancelled early")
+	}
+	if lose.Stats.Expanded <= 0 {
+		t.Errorf("cancelled loser reports no partial work (expanded=%d)", lose.Stats.Expanded)
 	}
 }
 
