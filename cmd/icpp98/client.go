@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// cmdClient talks to a running icpp98d daemon with the wire types of
+// internal/server — the same structs the daemon decodes, so client and
+// server cannot drift apart:
+//
+//	icpp98 client -addr http://localhost:8098 engines
+//	icpp98 client submit -engine astar -procs ring:3 g.tg
+//	icpp98 client submit -engines astar,dfbb,bnb -wait g.tg   # portfolio
+//	icpp98 client status job-1
+//	icpp98 client watch job-1                                 # stream progress
+//	icpp98 client result -gantt job-1
+//	icpp98 client cancel job-1
+func cmdClient(args []string) {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8098", "daemon base URL")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fatal(fmt.Errorf("client needs a subcommand: submit | status | watch | result | cancel | list | engines | health"))
+	}
+	c := &client{base: strings.TrimRight(*addr, "/")}
+	switch rest[0] {
+	case "submit":
+		c.submit(rest[1:])
+	case "status":
+		c.status(rest[1:])
+	case "watch":
+		c.watch(rest[1:])
+	case "result":
+		c.result(rest[1:])
+	case "cancel":
+		c.cancel(rest[1:])
+	case "list":
+		c.list()
+	case "engines":
+		c.engines()
+	case "health":
+		c.health()
+	default:
+		fatal(fmt.Errorf("unknown client subcommand %q", rest[0]))
+	}
+}
+
+type client struct {
+	base string
+}
+
+// do performs one request and decodes the JSON response into out (skipped
+// when out is nil). Any non-2xx response is surfaced as the server's error
+// message.
+func (c *client) do(method, path string, body, out any) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var e server.ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			fatal(fmt.Errorf("%s: %s", resp.Status, e.Error))
+		}
+		fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data))))
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// submit reads a graph file (or stdin), posts the job, and either prints
+// the job ID or — with -wait — polls until the job is terminal and prints
+// the result like `icpp98 schedule` would.
+func (c *client) submit(args []string) {
+	fs := flag.NewFlagSet("client submit", flag.ExitOnError)
+	engName := fs.String("engine", "astar", "registry engine to run")
+	engines := fs.String("engines", "", "comma list of engines to race as a portfolio (overrides -engine)")
+	procs := fs.String("procs", "", "target system spec, e.g. ring:3 (default complete:V)")
+	eps := fs.Float64("eps", 0, "ε for the ε-capable engines")
+	budget := fs.Int64("budget", 0, "expansion budget (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = none)")
+	ppes := fs.Int("ppes", 0, "PPEs for the parallel engine")
+	wait := fs.Bool("wait", false, "poll until the job finishes and print the result")
+	gantt := fs.Bool("gantt", true, "with -wait, print the Gantt chart")
+	fs.Parse(args)
+
+	// The graph travels as the native text format: the daemon parses and
+	// validates it server-side, so the client needs no graph code at all.
+	var text []byte
+	var err error
+	if fs.NArg() == 0 || fs.Arg(0) == "-" {
+		text, err = io.ReadAll(os.Stdin)
+	} else {
+		text, err = os.ReadFile(fs.Arg(0))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	req := server.SubmitRequest{
+		GraphText: string(text),
+		Engine:    *engName,
+		Config: server.JobConfig{
+			Epsilon:     *eps,
+			MaxExpanded: *budget,
+			TimeoutMS:   timeout.Milliseconds(),
+			PPEs:        *ppes,
+		},
+	}
+	if strings.HasSuffix(fs.Arg(0), ".stg") {
+		req.GraphText, req.GraphSTG = "", string(text)
+	}
+	if *engines != "" {
+		req.Engine = ""
+		for _, name := range strings.Split(*engines, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				req.Engines = append(req.Engines, name)
+			}
+		}
+	}
+	if *procs != "" {
+		spec, err := json.Marshal(*procs)
+		if err != nil {
+			fatal(err)
+		}
+		req.System = spec
+	}
+
+	var sub server.SubmitResponse
+	c.do(http.MethodPost, "/v1/jobs", req, &sub)
+	if !*wait {
+		fmt.Println(sub.ID)
+		return
+	}
+
+	for {
+		var st server.JobStatus
+		c.do(http.MethodGet, "/v1/jobs/"+sub.ID, nil, &st)
+		if st.State != server.StateQueued && st.State != server.StateRunning {
+			if st.State == server.StateFailed {
+				fatal(fmt.Errorf("job %s failed: %s", st.ID, st.Error))
+			}
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	format := ""
+	if *gantt {
+		format = "?format=gantt"
+	}
+	c.printResult(sub.ID, format)
+}
+
+func (c *client) printResult(id, format string) {
+	if format != "" {
+		// The Gantt form is text; fetch and print it verbatim.
+		resp, err := http.Get(c.base + "/v1/jobs/" + id + "/result" + format)
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode/100 != 2 {
+			fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data))))
+		}
+		os.Stdout.Write(data)
+		return
+	}
+	var res server.JobResult
+	c.do(http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(res)
+}
+
+func (c *client) status(args []string) {
+	if len(args) != 1 {
+		fatal(fmt.Errorf("status needs a job id"))
+	}
+	var st server.JobStatus
+	c.do(http.MethodGet, "/v1/jobs/"+args[0], nil, &st)
+	printJSON(st)
+}
+
+// watch streams the daemon's NDJSON progress feed to stdout until the job
+// reaches a terminal state.
+func (c *client) watch(args []string) {
+	if len(args) != 1 {
+		fatal(fmt.Errorf("watch needs a job id"))
+	}
+	resp, err := http.Get(c.base + "/v1/jobs/" + args[0] + "/events")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(resp.Body)
+		fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data))))
+	}
+	io.Copy(os.Stdout, resp.Body)
+}
+
+func (c *client) result(args []string) {
+	fs := flag.NewFlagSet("client result", flag.ExitOnError)
+	gantt := fs.Bool("gantt", false, "fetch the text Gantt chart instead of JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("result needs a job id"))
+	}
+	format := ""
+	if *gantt {
+		format = "?format=gantt"
+	}
+	c.printResult(fs.Arg(0), format)
+}
+
+func (c *client) cancel(args []string) {
+	if len(args) != 1 {
+		fatal(fmt.Errorf("cancel needs a job id"))
+	}
+	var st server.JobStatus
+	c.do(http.MethodDelete, "/v1/jobs/"+args[0], nil, &st)
+	printJSON(st)
+}
+
+func (c *client) list() {
+	var jobs server.JobList
+	c.do(http.MethodGet, "/v1/jobs", nil, &jobs)
+	for _, st := range jobs.Jobs {
+		fmt.Printf("%-10s %-10s %-24s expanded=%d", st.ID, st.State, strings.Join(st.Engines, ","), st.Progress.Expanded)
+		if st.Length > 0 {
+			fmt.Printf(" length=%d optimal=%v", st.Length, st.Optimal)
+		}
+		fmt.Println()
+	}
+}
+
+func (c *client) engines() {
+	var engines []server.EngineInfo
+	c.do(http.MethodGet, "/v1/engines", nil, &engines)
+	fmt.Printf("%-10s %-12s %s\n", "engine", "paper", "description")
+	for _, e := range engines {
+		fmt.Printf("%-10s %-12s %s\n", e.Name, e.Section, e.Description)
+	}
+}
+
+func (c *client) health() {
+	var h server.Health
+	c.do(http.MethodGet, "/v1/healthz", nil, &h)
+	printJSON(h)
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

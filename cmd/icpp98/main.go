@@ -16,6 +16,7 @@
 //	icpp98 heuristics g.tg                          # heuristic-vs-optimal study
 //	icpp98 dot g.tg                                 # Graphviz export
 //	icpp98 convert -to stg g.tg > g.stg             # Standard Task Graph export
+//	icpp98 client submit -wait g.tg                 # solve on an icpp98d daemon
 //
 // -engine selects any engine registered in internal/engine (a comma list
 // races them as a portfolio and reports the winner); -algo remains for the
@@ -23,7 +24,10 @@
 // for engine names. Graph files use the text format of internal/taskgraph
 // (graph/node/edge lines); files ending in .stg are read as Standard Task
 // Graph instances. The -procs flag accepts complete:N, ring:N, chain:N,
-// star:N, mesh:RxC, hypercube:D (default complete:V).
+// star:N, mesh:RxC, torus:RxC, hypercube:D (default complete:V).
+//
+// The client subcommand (see client.go) submits, watches, and cancels jobs
+// on a running icpp98d network daemon instead of solving in-process.
 package main
 
 import (
@@ -31,7 +35,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
@@ -70,13 +73,15 @@ func main() {
 		cmdDot(os.Args[2:])
 	case "convert":
 		cmdConvert(os.Args[2:])
+	case "client":
+		cmdClient(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: icpp98 <gen|analyze|engines|schedule|example|tree|heuristics|dot|convert> [flags] [file]")
+	fmt.Fprintln(os.Stderr, "usage: icpp98 <gen|analyze|engines|schedule|example|tree|heuristics|dot|convert|client> [flags] [file]")
 	os.Exit(2)
 }
 
@@ -121,39 +126,14 @@ func loadGraph(args []string) *taskgraph.Graph {
 	return g
 }
 
+// parseSystem resolves a -procs spec through the shared parser the daemon's
+// submit endpoint also uses (procgraph.ParseSpec).
 func parseSystem(spec string, v int) *procgraph.System {
-	if spec == "" {
-		return procgraph.Complete(v)
+	sys, err := procgraph.ParseSpec(spec, v)
+	if err != nil {
+		fatal(err)
 	}
-	name, arg, _ := strings.Cut(spec, ":")
-	atoi := func(s string) int {
-		n, err := strconv.Atoi(s)
-		if err != nil || n < 1 {
-			fatal(fmt.Errorf("bad processor spec %q", spec))
-		}
-		return n
-	}
-	switch name {
-	case "complete":
-		return procgraph.Complete(atoi(arg))
-	case "ring":
-		return procgraph.Ring(atoi(arg))
-	case "chain":
-		return procgraph.Chain(atoi(arg))
-	case "star":
-		return procgraph.Star(atoi(arg))
-	case "hypercube":
-		return procgraph.Hypercube(atoi(arg))
-	case "mesh":
-		r, c, ok := strings.Cut(arg, "x")
-		if !ok {
-			fatal(fmt.Errorf("mesh spec must be mesh:RxC, got %q", spec))
-		}
-		return procgraph.Mesh(atoi(r), atoi(c))
-	default:
-		fatal(fmt.Errorf("unknown topology %q", name))
-		return nil
-	}
+	return sys
 }
 
 func cmdGen(args []string) {

@@ -1,0 +1,69 @@
+// Command icpp98d is the network solve daemon: it serves the HTTP/JSON job
+// API of internal/server over the engine registry and solver pool, so any
+// client can submit scheduling instances, poll or stream their progress,
+// and fetch finished schedules without linking the solver.
+//
+//	icpp98d -addr :8098 -workers 8 -store 4096 -ttl 30m
+//
+// Submit with curl (see docs/API.md for the full API):
+//
+//	curl -s localhost:8098/v1/jobs -d '{
+//	  "graph_text": "graph app\nnode 0 2\nnode 1 3\nedge 0 1 1\n",
+//	  "system": "ring:3", "engine": "astar"}'
+//
+// or with the bundled client:
+//
+//	icpp98 client -addr http://localhost:8098 submit -engine astar -procs ring:3 -wait g.tg
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight searches are
+// cancelled through their job contexts (each returns its best incumbent
+// and is recorded as cancelled) before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8098", "listen address")
+	workers := flag.Int("workers", 0, "max concurrently running jobs (0 = GOMAXPROCS)")
+	storeCap := flag.Int("store", 1024, "max retained jobs (active + finished)")
+	ttl := flag.Duration("ttl", 15*time.Minute, "how long finished jobs stay fetchable")
+	flag.Parse()
+
+	srv := server.New(server.Config{Workers: *workers, StoreCap: *storeCap, TTL: *ttl})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "icpp98d: serving on %s (workers=%d store=%d ttl=%v)\n",
+		*addr, *workers, *storeCap, *ttl)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "icpp98d:", err)
+		os.Exit(1)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "icpp98d: %v, shutting down\n", got)
+	}
+
+	// Cancel the jobs first: that unblocks the long-lived /events streams
+	// (which wait on the jobs' terminal states) and frees the workers, so
+	// the handler drain below completes promptly instead of riding out the
+	// whole timeout whenever a client is mid-stream.
+	srv.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutdownCtx) // stop accepting, drain handlers
+}

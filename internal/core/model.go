@@ -8,6 +8,15 @@
 // The building blocks (Model, State, Expander, Visited) are exported so the
 // parallel engine in internal/parallel can run the identical expansion logic
 // on every physical processing element (PPE).
+//
+// Reading order: Model (NewModel precomputes every per-instance table the
+// search needs — execution costs, admissible static levels, equivalence and
+// interchangeability classes), then State and Expander (expand.go, the §3.1
+// operator with the §3.2 prunings), then Solve/SolveModel (solve.go, the
+// serial A*/Aε* loop that every other engine package mirrors). Model is
+// immutable after construction and shared freely across engines and
+// goroutines — the property internal/solverpool's memoization and the
+// network daemon's repeated-instance path rely on.
 package core
 
 import (

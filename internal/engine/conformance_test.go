@@ -204,3 +204,40 @@ func TestBudgetCadenceUniform(t *testing.T) {
 		}
 	}
 }
+
+// TestBudgetCutReturnsSchedule asserts the incumbent contract under the
+// harshest cutoff: with a one-expansion budget, every registered engine
+// must still hand back a non-nil, valid schedule (its incumbent or the
+// list-scheduling fallback) with Optimal=false — never a nil schedule,
+// which would crash schedule-consuming layers like the network daemon.
+func TestBudgetCutReturnsSchedule(t *testing.T) {
+	g, err := gen.Random(gen.RandomConfig{V: 16, CCR: 1.0, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := procgraph.Complete(4)
+	m, err := core.NewModel(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range engine.All() {
+		if e.Name() == "test-block" {
+			continue // test-only engine registered elsewhere in this binary
+		}
+		res, err := e.Solve(context.Background(), m, engine.Config{MaxExpanded: 1})
+		if err != nil {
+			t.Errorf("%s: budget-cut solve errored: %v", e.Name(), err)
+			continue
+		}
+		if res.Schedule == nil {
+			t.Errorf("%s: budget-cut solve returned a nil schedule", e.Name())
+			continue
+		}
+		if res.Optimal {
+			t.Errorf("%s: claims optimality after one expansion on v=16", e.Name())
+		}
+		if verr := res.Schedule.Validate(); verr != nil {
+			t.Errorf("%s: budget-cut incumbent invalid: %v", e.Name(), verr)
+		}
+	}
+}

@@ -15,6 +15,13 @@
 // expansion cap into a single Stop func that the engines poll once per
 // expansion — the per-engine Deadline/MaxExpanded plumbing this replaced
 // checked at diverging cadences and could not be cancelled externally.
+// That per-expansion poll is also what makes the layers above responsive:
+// a portfolio race (internal/solverpool) or a network job cancellation
+// (internal/server) frees its worker within one expansion.
+//
+// Registered engines optionally implement Describer; Names, All, and
+// Describe drive every listing surface (the CLI `engines` subcommand, the
+// daemon's /v1/engines endpoint, README and bench tables).
 package engine
 
 import (

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bnb"
 	"repro/internal/core"
 	"repro/internal/dfbb"
+	"repro/internal/listsched"
 	"repro/internal/parallel"
 )
 
@@ -104,6 +105,16 @@ func init() {
 			}
 			if r.Optimal {
 				res.BoundFactor = 1
+			}
+			if res.Schedule == nil {
+				// Cut off before the first complete schedule: honour the
+				// Engine contract (best incumbent or the list-scheduling
+				// fallback, never a nil schedule) like the other engines do.
+				s, err := listsched.Schedule(m.G, m.Sys, listsched.Options{Priority: listsched.PriorityBLevel})
+				if err != nil {
+					return nil, err
+				}
+				res.Schedule, res.Length, res.Optimal, res.BoundFactor = s, s.Length, false, 0
 			}
 			return res, nil
 		},

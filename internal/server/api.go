@@ -1,0 +1,275 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/procgraph"
+	"repro/internal/schedule"
+	"repro/internal/stg"
+	"repro/internal/taskgraph"
+)
+
+// This file defines the JSON wire types of the daemon's API — the contract
+// shared by the HTTP handlers, the `icpp98 client` subcommand, and any
+// other caller. docs/API.md documents the same shapes with examples; the
+// two must move together.
+
+// SubmitRequest is the body of POST /v1/jobs. Exactly one of Graph,
+// GraphText, and GraphSTG supplies the task graph; System is either a
+// JSON string holding a topology spec ("ring:3", see procgraph.ParseSpec)
+// or a full procgraph JSON object, and defaults to complete:V. Engine
+// names one registry engine (default "astar"); Engines names several to
+// race as a portfolio and overrides Engine.
+type SubmitRequest struct {
+	// Graph is a taskgraph JSON object: {"name", "weights", "edges", ...}.
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// GraphText is the native line-oriented text format of cmd/icpp98.
+	GraphText string `json:"graph_text,omitempty"`
+	// GraphSTG is a Standard Task Graph Set instance; STGEdgeCost, when
+	// > 0, attaches a uniform communication cost to its edges.
+	GraphSTG    string `json:"graph_stg,omitempty"`
+	STGEdgeCost int32  `json:"stg_edge_cost,omitempty"`
+
+	System json.RawMessage `json:"system,omitempty"`
+
+	Engine  string    `json:"engine,omitempty"`
+	Engines []string  `json:"engines,omitempty"`
+	Config  JobConfig `json:"config,omitempty"`
+}
+
+// JobConfig is the budget/variant surface of engine.Config a network
+// caller controls. Tracers and distribution policies stay in-process.
+type JobConfig struct {
+	// Epsilon > 0 requests the bounded-suboptimal search on ε-capable
+	// engines (aeps, parallel).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// MaxExpanded > 0 caps the number of state expansions.
+	MaxExpanded int64 `json:"max_expanded,omitempty"`
+	// TimeoutMS > 0 caps the solve's wall-clock time in milliseconds.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// PPEs sets the parallel engine's worker count (0 selects its default).
+	PPEs int `json:"ppes,omitempty"`
+	// NoPruning disables the §3.2 prunings (ablation runs).
+	NoPruning bool `json:"no_pruning,omitempty"`
+}
+
+// engineConfig translates the wire budget into the registry configuration.
+func (c JobConfig) engineConfig() engine.Config {
+	cfg := engine.Config{
+		Epsilon:     c.Epsilon,
+		MaxExpanded: c.MaxExpanded,
+		PPEs:        c.PPEs,
+	}
+	if c.TimeoutMS > 0 {
+		cfg.Timeout = time.Duration(c.TimeoutMS) * time.Millisecond
+	}
+	if c.NoPruning {
+		cfg.Disable = core.DisableAllPruning
+	}
+	return cfg
+}
+
+// SubmitResponse is the body of a successful POST /v1/jobs.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// JobProgress is the live view of a running search.
+type JobProgress struct {
+	// Expanded and Generated count search states across every engine (and
+	// every PPE) the job is running.
+	Expanded  int64 `json:"expanded"`
+	Generated int64 `json:"generated"`
+	// ElapsedMS is the wall-clock time since the job started running
+	// (0 while queued).
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// JobStatus is the body of GET /v1/jobs/{id} and one line of the
+// /events stream. Length/Optimal appear once a terminal job has a
+// schedule (a cancelled job keeps its best incumbent).
+type JobStatus struct {
+	ID       string      `json:"id"`
+	State    string      `json:"state"` // queued | running | done | failed | cancelled
+	Engines  []string    `json:"engines"`
+	Created  string      `json:"created"` // RFC 3339
+	Started  string      `json:"started,omitempty"`
+	Finished string      `json:"finished,omitempty"`
+	Progress JobProgress `json:"progress"`
+	Error    string      `json:"error,omitempty"`
+	Length   int32       `json:"length,omitempty"`
+	Optimal  bool        `json:"optimal,omitempty"`
+}
+
+// JobList is the body of GET /v1/jobs.
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// PlacementPayload is one task's assignment in a wire schedule.
+type PlacementPayload struct {
+	Node   int32  `json:"node"`
+	Label  string `json:"label,omitempty"`
+	Proc   int32  `json:"proc"`
+	Start  int32  `json:"start"`
+	Finish int32  `json:"finish"`
+}
+
+// SchedulePayload is the wire form of a complete schedule.
+type SchedulePayload struct {
+	Length     int32              `json:"length"`
+	Placements []PlacementPayload `json:"placements"`
+}
+
+// LoserPayload summarizes a cancelled portfolio entrant.
+type LoserPayload struct {
+	Length   int32 `json:"length,omitempty"`
+	Optimal  bool  `json:"optimal"`
+	Expanded int64 `json:"expanded"`
+}
+
+// JobResult is the body of GET /v1/jobs/{id}/result.
+type JobResult struct {
+	ID          string                  `json:"id"`
+	State       string                  `json:"state"`
+	Engine      string                  `json:"engine"` // the engine that produced the schedule
+	Length      int32                   `json:"length"`
+	Optimal     bool                    `json:"optimal"`
+	BoundFactor float64                 `json:"bound_factor"`
+	Schedule    SchedulePayload         `json:"schedule"`
+	Stats       core.Stats              `json:"stats"`
+	Losers      map[string]LoserPayload `json:"losers,omitempty"`
+	Errs        map[string]string       `json:"errs,omitempty"`
+}
+
+// schedulePayload flattens a validated schedule into the wire form.
+func schedulePayload(s *schedule.Schedule) SchedulePayload {
+	out := SchedulePayload{Length: s.Length, Placements: make([]PlacementPayload, len(s.Place))}
+	for n, p := range s.Place {
+		out.Placements[n] = PlacementPayload{
+			Node:   int32(n),
+			Label:  s.Graph.Label(int32(n)),
+			Proc:   p.Proc,
+			Start:  p.Start,
+			Finish: p.Finish,
+		}
+	}
+	return out
+}
+
+// ToSchedule rebuilds a validatable schedule.Schedule from the wire form
+// against the instance the caller submitted — the client-side check that a
+// returned schedule really is feasible.
+func (sp SchedulePayload) ToSchedule(g *taskgraph.Graph, sys *procgraph.System) (*schedule.Schedule, error) {
+	if len(sp.Placements) != g.NumNodes() {
+		return nil, fmt.Errorf("server: schedule has %d placements for %d nodes", len(sp.Placements), g.NumNodes())
+	}
+	place := make([]schedule.Placement, g.NumNodes())
+	for _, p := range sp.Placements {
+		if p.Node < 0 || int(p.Node) >= g.NumNodes() {
+			return nil, fmt.Errorf("server: placement for out-of-range node %d", p.Node)
+		}
+		place[p.Node] = schedule.Placement{Proc: p.Proc, Start: p.Start, Finish: p.Finish}
+	}
+	return schedule.New(g, sys, place), nil
+}
+
+// EngineInfo is one row of GET /v1/engines.
+type EngineInfo struct {
+	Name        string `json:"name"`
+	Section     string `json:"section,omitempty"`
+	Description string `json:"description,omitempty"`
+}
+
+// Health is the body of GET /v1/healthz.
+type Health struct {
+	Status      string `json:"status"` // "ok" | "shutting-down"
+	Workers     int    `json:"workers"`
+	InFlight    int64  `json:"in_flight"`
+	Jobs        int    `json:"jobs"` // jobs currently retained in the store
+	ModelsBuilt int64  `json:"models_built"`
+	ModelHits   int64  `json:"model_hits"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// decodeInstance turns a submit request into a validated (graph, system)
+// pair. Every failure is a client error (HTTP 400).
+func decodeInstance(req *SubmitRequest) (*taskgraph.Graph, *procgraph.System, error) {
+	sources := 0
+	for _, set := range []bool{len(req.Graph) > 0, req.GraphText != "", req.GraphSTG != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, nil, fmt.Errorf("exactly one of graph, graph_text, graph_stg must be set")
+	}
+	var g *taskgraph.Graph
+	var err error
+	switch {
+	case len(req.Graph) > 0:
+		g, err = taskgraph.FromJSON(req.Graph)
+	case req.GraphText != "":
+		g, err = taskgraph.Parse(strings.NewReader(req.GraphText))
+	default:
+		g, err = stg.Read(strings.NewReader(req.GraphSTG), stg.ImportOptions{EdgeCost: req.STGEdgeCost})
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sys, err := decodeSystem(req.System, g.NumNodes())
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, sys, nil
+}
+
+// decodeSystem accepts a JSON string spec ("ring:3"), a procgraph JSON
+// object, or nothing (complete:V, one PE per task).
+func decodeSystem(raw json.RawMessage, defaultProcs int) (*procgraph.System, error) {
+	trimmed := strings.TrimSpace(string(raw))
+	switch {
+	case trimmed == "" || trimmed == "null":
+		return procgraph.ParseSpec("", defaultProcs)
+	case strings.HasPrefix(trimmed, `"`):
+		var spec string
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return nil, err
+		}
+		return procgraph.ParseSpec(spec, defaultProcs)
+	default:
+		return procgraph.FromJSON(raw)
+	}
+}
+
+// engineNames resolves the request's engine selection: the portfolio list
+// when given, else the single engine, else astar. Every name is validated
+// against the registry at submit time so unknown engines fail fast with a
+// 400 instead of a failed job.
+func engineNames(req *SubmitRequest) ([]string, error) {
+	names := req.Engines
+	if len(names) == 0 {
+		name := req.Engine
+		if name == "" {
+			name = "astar"
+		}
+		names = []string{name}
+	}
+	for _, name := range names {
+		if _, err := engine.Lookup(name); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}

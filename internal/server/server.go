@@ -1,0 +1,431 @@
+// Package server turns the solver pool into a long-running network
+// service: an HTTP/JSON API that accepts solve jobs (task graph +
+// processor system + engine or portfolio choice + budget), runs them
+// asynchronously on a solverpool.Pool, and serves status, live progress,
+// and finished schedules.
+//
+// The job lifecycle is queued → running → {done | failed | cancelled}.
+// Submission returns a job ID immediately; the solve itself waits for one
+// of the pool's worker slots, runs under a per-job context, and lands in a
+// bounded in-memory store that retains terminal jobs for a TTL (sweep on
+// access) and evicts the oldest terminal job when full. Cancelling a job —
+// or shutting the server down — fires the job contexts, and because every
+// registry engine polls its budget once per expansion, workers come back
+// within one expansion. Repeated submissions of the same instance hit the
+// pool's model memoization.
+//
+// Endpoints (see docs/API.md for request/response examples):
+//
+//	POST   /v1/jobs             submit a job
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        job status + live progress
+//	GET    /v1/jobs/{id}/result finished schedule (JSON, or ?format=gantt)
+//	GET    /v1/jobs/{id}/events NDJSON status stream until terminal
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/engines          the engine registry
+//	GET    /v1/healthz          liveness + pool counters
+//
+// cmd/icpp98d wraps this package as a daemon; `icpp98 client` is the
+// command-line client.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/solverpool"
+)
+
+// Config sizes a Server. The zero value is usable: GOMAXPROCS workers, a
+// 1024-job store, 15-minute retention.
+type Config struct {
+	// Workers bounds concurrently running jobs; < 1 selects GOMAXPROCS.
+	Workers int
+	// StoreCap bounds retained jobs (active + terminal); < 1 selects 1024.
+	StoreCap int
+	// TTL is how long terminal jobs stay fetchable; <= 0 selects 15m.
+	TTL time.Duration
+	// StreamInterval is the /events snapshot cadence; <= 0 selects 250ms.
+	StreamInterval time.Duration
+}
+
+// Server is the solve daemon: an http.Handler plus the job runner behind
+// it. Construct with New, serve it, then Close to cancel every job and
+// wait for the workers to drain.
+type Server struct {
+	pool     *solverpool.Pool
+	store    *store
+	mux      *http.ServeMux
+	sem      chan struct{}
+	interval time.Duration
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	closeMu    sync.Mutex // serializes Close against job admission
+	wg         sync.WaitGroup
+}
+
+// New builds a Server and its solver pool.
+func New(cfg Config) *Server {
+	if cfg.StoreCap < 1 {
+		cfg.StoreCap = 1024
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 15 * time.Minute
+	}
+	if cfg.StreamInterval <= 0 {
+		cfg.StreamInterval = 250 * time.Millisecond
+	}
+	pool := solverpool.New(cfg.Workers)
+	s := &Server{
+		pool:     pool,
+		store:    newStore(cfg.StoreCap, cfg.TTL),
+		sem:      make(chan struct{}, pool.Workers()),
+		interval: cfg.StreamInterval,
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels every queued and running job and blocks until the job
+// goroutines have drained — the engines poll their budgets once per
+// expansion, so this returns promptly even mid-search.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	s.baseCancel()
+	s.closeMu.Unlock()
+	s.wg.Wait()
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit decodes, validates, and enqueues a job. Everything wrong
+// with the request itself — malformed JSON, an invalid instance, an
+// unknown engine — is a 400 here; a job that exists always has a
+// well-formed instance.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.baseCtx.Done():
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	default:
+	}
+	var req SubmitRequest
+	// The store bounds retained jobs; bound the request too, or one
+	// oversized POST defeats the whole memory story. 16 MiB comfortably
+	// fits any MaxNodes-sized instance in every wire form.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	g, sys, err := decodeInstance(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad instance: %v", err)
+		return
+	}
+	names, err := engineNames(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	jobCtx, cancel := context.WithCancel(s.baseCtx)
+	j := &job{
+		graph:    g,
+		system:   sys,
+		engines:  names,
+		cancel:   cancel,
+		progress: &solverpool.Progress{},
+	}
+	id, err := s.store.add(j)
+	if err != nil {
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+
+	cfg := req.Config.engineConfig()
+	j.progress.Attach(&cfg)
+
+	// Admission and Close are serialized so the WaitGroup never grows
+	// after Close started waiting; a submit that loses the race is turned
+	// away like any other post-shutdown request.
+	s.closeMu.Lock()
+	if s.baseCtx.Err() != nil {
+		s.closeMu.Unlock()
+		cancel()
+		// The submitter is told 503, so the job must leave no record.
+		s.store.remove(id)
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.wg.Add(1)
+	s.closeMu.Unlock()
+	go s.run(jobCtx, j, cfg)
+
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, State: StateQueued})
+}
+
+// finishJob records a job's outcome. An interrupted context means job
+// cancellation or server shutdown (budgets cut searches off internally,
+// without touching the context), so the terminal state must read
+// cancelled either way — even when the interrupted engine still handed
+// back an incumbent schedule, which is kept.
+func (s *Server) finishJob(ctx context.Context, j *job, res *JobResult, errMessage string) {
+	if ctx.Err() != nil {
+		s.store.noteInterrupted(j)
+	}
+	s.store.finish(j, res, errMessage)
+}
+
+// run is the job's lifecycle goroutine: wait for a worker slot, solve,
+// record the outcome. Cancellation while queued never touches the pool.
+func (s *Server) run(ctx context.Context, j *job, cfg engine.Config) {
+	defer s.wg.Done()
+	defer j.cancel()
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.finishJob(ctx, j, nil, "")
+		return
+	}
+	if !s.store.markRunning(j) {
+		s.finishJob(ctx, j, nil, "")
+		return
+	}
+
+	if len(j.engines) > 1 {
+		pf, err := s.pool.SolvePortfolio(ctx, j.graph, j.system, j.engines, cfg)
+		if err != nil {
+			s.finishJob(ctx, j, nil, err.Error())
+			return
+		}
+		if pf.Result == nil || pf.Result.Schedule == nil {
+			s.finishJob(ctx, j, nil, "")
+			return
+		}
+		res := &JobResult{
+			ID:          j.id,
+			Engine:      pf.Winner,
+			Length:      pf.Result.Length,
+			Optimal:     pf.Result.Optimal,
+			BoundFactor: pf.Result.BoundFactor,
+			Schedule:    schedulePayload(pf.Result.Schedule),
+			Stats:       pf.Result.Stats,
+		}
+		if len(pf.Losers) > 0 {
+			res.Losers = map[string]LoserPayload{}
+			for name, l := range pf.Losers {
+				lp := LoserPayload{Optimal: l.Optimal, Expanded: l.Stats.Expanded}
+				if l.Schedule != nil {
+					lp.Length = l.Length
+				}
+				res.Losers[name] = lp
+			}
+		}
+		if len(pf.Errs) > 0 {
+			res.Errs = map[string]string{}
+			for name, err := range pf.Errs {
+				res.Errs[name] = err.Error()
+			}
+		}
+		s.finishJob(ctx, j, res, "")
+		return
+	}
+
+	resp := s.pool.Solve(ctx, solverpool.Request{
+		Graph: j.graph, System: j.system, Engine: j.engines[0], Config: cfg,
+	})
+	if resp.Err != nil {
+		s.finishJob(ctx, j, nil, resp.Err.Error())
+		return
+	}
+	if resp.Result.Schedule == nil {
+		// Engines contract a non-nil schedule, but a daemon must not be
+		// one registry bug away from a goroutine panic: record a
+		// schedule-less terminal state instead.
+		s.finishJob(ctx, j, nil, "")
+		return
+	}
+	s.finishJob(ctx, j, &JobResult{
+		ID:          j.id,
+		Engine:      resp.Engine,
+		Length:      resp.Result.Length,
+		Optimal:     resp.Result.Optimal,
+		BoundFactor: resp.Result.BoundFactor,
+		Schedule:    schedulePayload(resp.Result.Schedule),
+		Stats:       resp.Result.Stats,
+	}, "")
+}
+
+// lookup resolves the {id} path segment, writing the 404 itself when the
+// job is unknown or already evicted.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	j := s.store.get(id)
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.status(j))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	list := JobList{Jobs: []JobStatus{}}
+	for _, j := range s.store.list() {
+		list.Jobs = append(list.Jobs, s.store.status(j))
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleResult serves the finished schedule. A job that is still queued or
+// running is a 409 (poll status, or stream /events); a failed or
+// result-less cancelled job is also a 409 carrying the failure message.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	res := s.store.resultOf(j)
+	if res == nil {
+		st := s.store.status(j)
+		msg := fmt.Sprintf("job %s has no result (state %s)", st.ID, st.State)
+		if st.Error != "" {
+			msg += ": " + st.Error
+		}
+		writeError(w, http.StatusConflict, "%s", msg)
+		return
+	}
+	if r.URL.Query().Get("format") == "gantt" {
+		sched, err := res.Schedule.ToSchedule(j.graph, j.system)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "engine=%s length=%d optimal=%v\n\n", res.Engine, res.Length, res.Optimal)
+		fmt.Fprint(w, sched.Table())
+		fmt.Fprintln(w)
+		fmt.Fprint(w, sched.Gantt(8))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleEvents streams NDJSON JobStatus snapshots until the job reaches a
+// terminal state (the final snapshot is always sent), the client goes
+// away, or the server shuts down.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	interval := s.interval
+	if ms, err := strconv.Atoi(r.URL.Query().Get("interval_ms")); err == nil && ms > 0 {
+		interval = time.Duration(ms) * time.Millisecond
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		st := s.store.status(j)
+		if enc.Encode(st) != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal(st.State) {
+			return
+		}
+		select {
+		case <-ticker.C:
+		case <-j.done:
+			// Loop once more to emit the terminal snapshot.
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// handleCancel requests cancellation and reports the resulting status.
+// Cancelling a terminal job is a no-op 200, matching the idempotency a
+// retrying client needs; the handler does not wait for the solve to
+// acknowledge — poll status or /events to observe the transition.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.store.requestCancel(j)
+	writeJSON(w, http.StatusOK, s.store.status(j))
+}
+
+func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	out := []EngineInfo{}
+	for _, e := range engine.All() {
+		section, desc := engine.Describe(e)
+		out = append(out, EngineInfo{Name: e.Name(), Section: section, Description: desc})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if errors.Is(s.baseCtx.Err(), context.Canceled) {
+		status = "shutting-down"
+	}
+	ps := s.pool.Stats()
+	writeJSON(w, http.StatusOK, Health{
+		Status:      status,
+		Workers:     s.pool.Workers(),
+		InFlight:    s.pool.InFlight(),
+		Jobs:        s.store.count(),
+		ModelsBuilt: ps.ModelsBuilt,
+		ModelHits:   ps.ModelHits,
+	})
+}

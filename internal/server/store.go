@@ -1,0 +1,267 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/procgraph"
+	"repro/internal/solverpool"
+	"repro/internal/taskgraph"
+)
+
+// Job states. A job is terminal in StateDone, StateFailed, or
+// StateCancelled; only terminal jobs are evicted.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// job is one submitted solve and everything its lifecycle accumulates. The
+// mutable fields are guarded by the owning store's mutex; progress is
+// internally atomic so the running search never takes the store lock.
+type job struct {
+	id      string
+	graph   *taskgraph.Graph
+	system  *procgraph.System
+	engines []string
+
+	cancel   context.CancelFunc
+	progress *solverpool.Progress
+	done     chan struct{} // closed when the job reaches a terminal state
+
+	state      string
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	cancelled  bool // cancellation was requested (job cancel or shutdown)
+	result     *JobResult
+	errMessage string
+}
+
+// store retains jobs in memory, bounded two ways: terminal jobs older than
+// ttl are swept on every access, and when the population hits cap the
+// oldest terminal job is evicted to admit a new one. Active jobs are never
+// evicted — a full store of purely active jobs rejects new submissions,
+// which is the backpressure a bounded service wants.
+type store struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+	cap  int
+	ttl  time.Duration
+	seq  int64
+	now  func() time.Time // injectable clock for eviction tests
+}
+
+func newStore(cap int, ttl time.Duration) *store {
+	return &store{jobs: map[string]*job{}, cap: cap, ttl: ttl, now: time.Now}
+}
+
+// errStoreFull reports an admission rejection (HTTP 503).
+var errStoreFull = fmt.Errorf("server: job store is full of active jobs")
+
+// add admits a new job, sweeping expired entries and evicting the oldest
+// terminal job if the store is at capacity.
+func (st *store) add(j *job) (string, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked()
+	if len(st.jobs) >= st.cap {
+		if !st.evictOldestTerminalLocked() {
+			return "", errStoreFull
+		}
+	}
+	st.seq++
+	j.id = fmt.Sprintf("job-%d", st.seq)
+	j.state = StateQueued
+	j.created = st.now()
+	j.done = make(chan struct{})
+	st.jobs[j.id] = j
+	return j.id, nil
+}
+
+// remove unconditionally drops a job, used when an admitted job loses the
+// race against server shutdown and must leave no record (its submitter was
+// told 503).
+func (st *store) remove(id string) {
+	st.mu.Lock()
+	delete(st.jobs, id)
+	st.mu.Unlock()
+}
+
+// get returns the job, or nil after sweeping if it is unknown or expired.
+func (st *store) get(id string) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked()
+	return st.jobs[id]
+}
+
+// list returns every retained job, oldest first.
+func (st *store) list() []*job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked()
+	out := make([]*job, 0, len(st.jobs))
+	for _, j := range st.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].created.Before(out[k].created) })
+	return out
+}
+
+// count returns the retained-job population.
+func (st *store) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked()
+	return len(st.jobs)
+}
+
+// sweepLocked drops terminal jobs whose TTL has lapsed.
+func (st *store) sweepLocked() {
+	if st.ttl <= 0 {
+		return
+	}
+	cutoff := st.now().Add(-st.ttl)
+	for id, j := range st.jobs {
+		if terminal(j.state) && j.finished.Before(cutoff) {
+			delete(st.jobs, id)
+		}
+	}
+}
+
+// evictOldestTerminalLocked removes the terminal job that finished first;
+// it reports false when every retained job is still active.
+func (st *store) evictOldestTerminalLocked() bool {
+	var victim string
+	var oldest time.Time
+	for id, j := range st.jobs {
+		if !terminal(j.state) {
+			continue
+		}
+		if victim == "" || j.finished.Before(oldest) {
+			victim, oldest = id, j.finished
+		}
+	}
+	if victim == "" {
+		return false
+	}
+	delete(st.jobs, victim)
+	return true
+}
+
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// markRunning transitions queued → running. It reports false when the job
+// was cancelled while still queued, in which case the caller must not run
+// the solve.
+func (st *store) markRunning(j *job) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = st.now()
+	return true
+}
+
+// finish moves a job to its terminal state and wakes every waiter. The
+// terminal state is derived from how the solve ended: an explicit error is
+// a failure; a cancellation request wins over the result an interrupted
+// engine still returned (the result is kept — a cancelled search hands back
+// its best incumbent).
+func (st *store) finish(j *job, result *JobResult, errMessage string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if terminal(j.state) {
+		return
+	}
+	j.finished = st.now()
+	j.result = result
+	j.errMessage = errMessage
+	switch {
+	case errMessage != "":
+		j.state = StateFailed
+	case j.cancelled:
+		j.state = StateCancelled
+	default:
+		j.state = StateDone
+	}
+	if j.result != nil {
+		j.result.State = j.state
+	}
+	close(j.done)
+}
+
+// noteInterrupted flags the job as cancelled without firing its context —
+// the record of a context that was already interrupted from outside (job
+// cancellation or server shutdown), consulted when the job finishes.
+func (st *store) noteInterrupted(j *job) {
+	st.mu.Lock()
+	if !terminal(j.state) {
+		j.cancelled = true
+	}
+	st.mu.Unlock()
+}
+
+// requestCancel flags the job as cancelled and fires its context. It is
+// idempotent; it reports false when the job was already terminal.
+func (st *store) requestCancel(j *job) bool {
+	st.mu.Lock()
+	already := terminal(j.state)
+	if !already {
+		j.cancelled = true
+	}
+	st.mu.Unlock()
+	if !already {
+		j.cancel()
+	}
+	return !already
+}
+
+// status snapshots a job into its wire form.
+func (st *store) status(j *job) JobStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := JobStatus{
+		ID:      j.id,
+		State:   j.state,
+		Engines: j.engines,
+		Created: j.created.UTC().Format(time.RFC3339Nano),
+		Error:   j.errMessage,
+	}
+	if !j.started.IsZero() {
+		out.Started = j.started.UTC().Format(time.RFC3339Nano)
+		end := st.now()
+		if !j.finished.IsZero() {
+			end = j.finished
+		}
+		out.Progress.ElapsedMS = end.Sub(j.started).Milliseconds()
+	}
+	if !j.finished.IsZero() {
+		out.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	out.Progress.Expanded, out.Progress.Generated = j.progress.Snapshot()
+	if j.result != nil {
+		out.Length = j.result.Length
+		out.Optimal = j.result.Optimal
+	}
+	return out
+}
+
+// resultOf returns the job's result when it has one (done, or cancelled
+// with a kept incumbent).
+func (st *store) resultOf(j *job) *JobResult {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return j.result
+}

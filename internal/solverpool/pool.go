@@ -12,6 +12,11 @@
 // solver core with pluggable strategies): because every engine here solves
 // the identical state-space formulation, any engine's proven optimum
 // settles the instance for all of them.
+//
+// The pool is also the substrate of the network daemon (internal/server):
+// Progress is a counting tracer a job attaches to its solve so a status
+// endpoint can report live expansion counts, and Workers/InFlight/Stats
+// expose the capacity and cache behaviour a health endpoint publishes.
 package solverpool
 
 import (
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -60,7 +66,8 @@ const maxCachedModels = 256
 // Pool is a concurrent batch/portfolio solve service. The zero value is not
 // usable; construct with New. A Pool is safe for concurrent use.
 type Pool struct {
-	workers int
+	workers  int
+	inFlight atomic.Int64
 
 	mu     sync.Mutex
 	models map[modelKey]*modelEntry
@@ -104,6 +111,15 @@ func (p *Pool) Stats() Stats {
 	defer p.mu.Unlock()
 	return p.stats
 }
+
+// Workers returns the pool's concurrency bound — how many solves SolveBatch
+// runs at once, and the slot count a service scheduling jobs onto the pool
+// should respect.
+func (p *Pool) Workers() int { return p.workers }
+
+// InFlight returns the number of solves currently executing (each portfolio
+// entrant counts individually).
+func (p *Pool) InFlight() int64 { return p.inFlight.Load() }
 
 // Model returns the memoized compiled model for the instance, building it
 // on first use. Models are immutable after construction, so one model is
@@ -168,7 +184,9 @@ func (p *Pool) Solve(ctx context.Context, req Request) Response {
 	if err != nil {
 		return Response{Engine: name, Err: err}
 	}
+	p.inFlight.Add(1)
 	res, err := eng.Solve(ctx, m, req.Config)
+	p.inFlight.Add(-1)
 	return Response{Engine: name, Result: res, Err: err}
 }
 

@@ -67,7 +67,9 @@ func (p *Pool) SolvePortfolio(ctx context.Context, g *taskgraph.Graph, sys *proc
 	done := make(chan entry, len(engines))
 	for _, e := range engines {
 		go func(e engine.Engine) {
+			p.inFlight.Add(1)
 			res, err := e.Solve(raceCtx, m, cfg)
+			p.inFlight.Add(-1)
 			done <- entry{name: e.Name(), res: res, err: err}
 		}(e)
 	}

@@ -1,0 +1,49 @@
+package solverpool
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Progress is a concurrency-safe counting tracer: it implements core.Tracer
+// with two atomic increments, cheap enough to leave attached to any solve.
+// A long-running service attaches one per job and samples Snapshot from its
+// status endpoint while the search runs — the live "how far has it got"
+// signal the batch API cannot give.
+//
+// One Progress may observe several searches at once (a portfolio race
+// attaches the same counter to every entrant; the parallel engine attaches
+// it to every PPE), in which case the counts aggregate across all of them.
+type Progress struct {
+	expanded  atomic.Int64
+	generated atomic.Int64
+}
+
+// Expanded implements core.Tracer.
+func (p *Progress) Expanded(*core.State) { p.expanded.Add(1) }
+
+// Generated implements core.Tracer.
+func (p *Progress) Generated(_, _ *core.State) { p.generated.Add(1) }
+
+// ForPPE adapts the counter to the parallel engine's per-PPE tracer hook;
+// every PPE feeds the same aggregate.
+func (p *Progress) ForPPE(int) core.Tracer { return p }
+
+// Snapshot returns the states expanded and generated so far.
+func (p *Progress) Snapshot() (expanded, generated int64) {
+	return p.expanded.Load(), p.generated.Load()
+}
+
+// Attach wires the counter into an engine configuration, covering both the
+// serial tracer hook and the parallel engine's per-PPE variant. It refuses
+// to displace a tracer the caller already installed.
+func (p *Progress) Attach(cfg *engine.Config) {
+	if cfg.Tracer == nil {
+		cfg.Tracer = p
+	}
+	if cfg.TracerFor == nil {
+		cfg.TracerFor = p.ForPPE
+	}
+}

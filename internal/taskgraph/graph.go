@@ -25,9 +25,12 @@ type Adj struct {
 }
 
 // Edge is a fully specified directed edge, used by builders and serializers.
+// The json tags define the graph's wire form (see MarshalJSON in io.go),
+// which the network daemon's submit endpoint accepts.
 type Edge struct {
-	From, To int32
-	Cost     int32
+	From int32 `json:"from"`
+	To   int32 `json:"to"`
+	Cost int32 `json:"cost"`
 }
 
 // Graph is an immutable weighted DAG. Construct one with a Builder, a

@@ -24,7 +24,9 @@
 // (Engines lists them); Solve runs any of them by name, SolveBatch runs
 // many requests over a bounded worker pool, and SolvePortfolio races
 // several engines on one instance, cancelling the losers as soon as one
-// proves optimality.
+// proves optimality. NewServer exposes the same pool over HTTP as an async
+// job API (cmd/icpp98d is the packaged daemon, `icpp98 client` the
+// command-line client, docs/API.md the endpoint reference).
 //
 // See README.md for the quickstart and the engine table, and DESIGN.md for
 // the system inventory and benchmark instructions.
@@ -39,6 +41,7 @@ import (
 	"repro/internal/listsched"
 	"repro/internal/procgraph"
 	"repro/internal/schedule"
+	"repro/internal/server"
 	"repro/internal/solverpool"
 	"repro/internal/stg"
 	"repro/internal/taskgraph"
@@ -102,7 +105,31 @@ type (
 	// PortfolioResult reports an engine race: the winner, its result, and
 	// the cancelled losers with their partial stats.
 	PortfolioResult = solverpool.PortfolioResult
+
+	// Server is the network solve daemon: an http.Handler exposing the
+	// async job API of internal/server (submit, status, progress stream,
+	// result, cancel) over the solver pool. cmd/icpp98d serves one.
+	Server = server.Server
+	// ServerConfig sizes a Server: workers, job-store bound, result TTL.
+	ServerConfig = server.Config
+	// JobRequest is the wire form of a job submission (POST /v1/jobs);
+	// shared by the daemon and the `icpp98 client` subcommand.
+	JobRequest = server.SubmitRequest
+	// JobConfig is the engine budget/variant surface of a JobRequest.
+	JobConfig = server.JobConfig
+	// JobStatus is the wire form of a job's state and live progress.
+	JobStatus = server.JobStatus
+	// JobResult is the wire form of a finished schedule.
+	JobResult = server.JobResult
 )
+
+// NewServer builds the network solve daemon. Serve it with net/http and
+// call Close on shutdown to cancel outstanding jobs and drain workers:
+//
+//	srv := repro.NewServer(repro.ServerConfig{Workers: 8})
+//	defer srv.Close()
+//	http.ListenAndServe(":8098", srv)
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 
 // NewSearchRecorder starts recording a search over g.
 func NewSearchRecorder(g *Graph) *SearchRecorder { return trace.NewRecorder(g) }
