@@ -1,16 +1,20 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -25,13 +29,14 @@ import (
 //	icpp98 client watch job-1                                 # stream progress
 //	icpp98 client result -gantt job-1
 //	icpp98 client cancel job-1
+//	icpp98 client workers                                     # cluster workers
 func cmdClient(args []string) {
 	fs := flag.NewFlagSet("client", flag.ExitOnError)
 	addr := fs.String("addr", "http://localhost:8098", "daemon base URL")
 	fs.Parse(args)
 	rest := fs.Args()
 	if len(rest) == 0 {
-		fatal(fmt.Errorf("client needs a subcommand: submit | status | watch | result | cancel | list | engines | health"))
+		fatal(fmt.Errorf("client needs a subcommand: submit | status | watch | result | cancel | list | engines | health | workers"))
 	}
 	c := &client{base: strings.TrimRight(*addr, "/")}
 	switch rest[0] {
@@ -51,6 +56,8 @@ func cmdClient(args []string) {
 		c.engines()
 	case "health":
 		c.health()
+	case "workers":
+		c.workers()
 	default:
 		fatal(fmt.Errorf("unknown client subcommand %q", rest[0]))
 	}
@@ -216,21 +223,98 @@ func (c *client) status(args []string) {
 }
 
 // watch streams the daemon's NDJSON progress feed to stdout until the job
-// reaches a terminal state.
+// reaches a terminal state. A dropped connection is not fatal: the loop
+// reconnects with the last seen sequence number as Last-Event-ID, so the
+// resumed stream carries on with strictly newer snapshots (the store owns
+// the counter) instead of the watch dying mid-solve.
 func (c *client) watch(args []string) {
 	if len(args) != 1 {
 		fatal(fmt.Errorf("watch needs a job id"))
 	}
-	resp, err := http.Get(c.base + "/v1/jobs/" + args[0] + "/events")
-	if err != nil {
+	if err := watchEvents(c.base, args[0], os.Stdout); err != nil {
 		fatal(err)
+	}
+}
+
+// watchEvents is the reconnecting stream loop behind `client watch`,
+// factored out for tests. It returns nil once a terminal snapshot was
+// printed, and an error when the job is unknown or the daemon stays
+// unreachable across the retry budget.
+func watchEvents(base, id string, out io.Writer) error {
+	var lastSeq int64
+	retries := 0
+	for {
+		before := lastSeq
+		terminal, err := streamEventsOnce(base, id, &lastSeq, out)
+		if terminal {
+			return nil
+		}
+		if errors.Is(err, errJobGone) {
+			// Unknown or evicted: reconnecting cannot bring the job back.
+			return fmt.Errorf("watch %s: %w", id, err)
+		}
+		if lastSeq > before {
+			// The connection made progress before dropping; only
+			// consecutive fruitless reconnects count against the budget,
+			// so a long watch survives any number of isolated drops.
+			retries = 0
+		}
+		if err != nil && retries >= 5 {
+			return fmt.Errorf("watch %s: giving up after %d reconnects: %w", id, retries, err)
+		}
+		retries++
+		time.Sleep(time.Duration(retries) * 200 * time.Millisecond)
+	}
+}
+
+// errJobGone marks a watch 404: the job is unknown or already evicted.
+var errJobGone = errors.New("job not found")
+
+// streamEventsOnce opens one /events connection (resuming past lastSeq),
+// prints each line, and reports whether a terminal snapshot arrived.
+func streamEventsOnce(base, id string, lastSeq *int64, out io.Writer) (bool, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return false, err
+	}
+	if *lastSeq > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(*lastSeq, 10))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		data, _ := io.ReadAll(resp.Body)
-		fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data))))
+		msg := strings.TrimSpace(string(data))
+		if resp.StatusCode == http.StatusNotFound {
+			return false, fmt.Errorf("%w: %s", errJobGone, msg)
+		}
+		return false, fmt.Errorf("%s: %s", resp.Status, msg)
 	}
-	io.Copy(os.Stdout, resp.Body)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var st server.JobStatus
+		if json.Unmarshal(line, &st) != nil {
+			continue
+		}
+		if st.Seq > *lastSeq {
+			*lastSeq = st.Seq
+		}
+		fmt.Fprintf(out, "%s\n", line)
+		if st.State != server.StateQueued && st.State != server.StateRunning {
+			return true, nil
+		}
+	}
+	err = sc.Err()
+	if err == nil {
+		// The server closed the stream without a terminal snapshot —
+		// shutdown mid-stream; reconnect like any other drop.
+		err = io.ErrUnexpectedEOF
+	}
+	return false, err
 }
 
 func (c *client) result(args []string) {
@@ -281,6 +365,17 @@ func (c *client) health() {
 	var h server.Health
 	c.do(http.MethodGet, "/v1/healthz", nil, &h)
 	printJSON(h)
+}
+
+// workers lists the cluster workers registered with a -cluster daemon.
+func (c *client) workers() {
+	var list cluster.WorkerList
+	c.do(http.MethodGet, "/v1/workers", nil, &list)
+	fmt.Printf("%-12s %-16s %8s %7s %9s %14s\n", "worker", "name", "capacity", "leased", "jobs done", "last seen")
+	for _, w := range list.Workers {
+		fmt.Printf("%-12s %-16s %8d %7d %9d %14s\n",
+			w.ID, w.Name, w.Capacity, w.Leased, w.JobsDone, fmt.Sprintf("%dms ago", w.LastSeenMS))
+	}
 }
 
 func printJSON(v any) {

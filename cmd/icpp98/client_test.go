@@ -1,0 +1,178 @@
+package main
+
+// Tests for the client-side watch loop: the NDJSON stream dropping
+// mid-solve must not kill the watch — it reconnects with Last-Event-ID
+// and rides the resumed stream to the terminal snapshot.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// droppingProxy forwards requests to a backend but cuts /events streams
+// after cutLines lines on the first cutConns connections — a deterministic
+// stand-in for a flaky network path.
+type droppingProxy struct {
+	backend  http.Handler
+	cutLines int
+	cutConns int32
+	conns    atomic.Int32
+}
+
+func (p *droppingProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.HasSuffix(r.URL.Path, "/events") {
+		p.backend.ServeHTTP(w, r)
+		return
+	}
+	n := p.conns.Add(1)
+	if n > p.cutConns {
+		p.backend.ServeHTTP(w, r)
+		return
+	}
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	// Serve the backend stream into a pipe and forward only the first
+	// cutLines lines, then hang up.
+	pr, pw := io.Pipe()
+	go func() {
+		defer close(done)
+		defer pw.Close()
+		p.backend.ServeHTTP(&streamWriter{header: rec.Header(), w: pw}, r)
+	}()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	sc := bufio.NewScanner(pr)
+	for i := 0; i < p.cutLines && sc.Scan(); i++ {
+		w.Write(sc.Bytes())
+		w.Write([]byte("\n"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	pr.CloseWithError(io.EOF) // detach the backend stream
+	<-done
+}
+
+// streamWriter adapts an io.Writer into the ResponseWriter the backend
+// streams into.
+type streamWriter struct {
+	header http.Header
+	w      io.Writer
+}
+
+func (s *streamWriter) Header() http.Header         { return s.header }
+func (s *streamWriter) WriteHeader(int)             {}
+func (s *streamWriter) Write(b []byte) (int, error) { return s.w.Write(b) }
+func (s *streamWriter) Flush()                      {}
+
+// watchBlocker parks solves until cancelled so the watched job outlives
+// several dropped stream connections.
+type watchBlocker struct{}
+
+func (watchBlocker) Name() string { return "watch-block" }
+
+func (watchBlocker) Solve(ctx context.Context, m *core.Model, cfg engine.Config) (*core.Result, error) {
+	<-ctx.Done()
+	astar, err := engine.Lookup("astar")
+	if err != nil {
+		return nil, err
+	}
+	res, err := astar.Solve(context.Background(), m, engine.Config{})
+	if err != nil {
+		return nil, err
+	}
+	res.Optimal = false
+	res.BoundFactor = 0
+	return res, nil
+}
+
+func init() { engine.Register(watchBlocker{}) }
+
+func TestWatchReconnectsAcrossDrop(t *testing.T) {
+	srv := server.New(server.Config{StreamInterval: 5 * time.Millisecond})
+	defer srv.Close()
+	proxy := &droppingProxy{backend: srv, cutLines: 2, cutConns: 2}
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+
+	body := `{"graph_text": "graph app\nnode 0 2\nnode 1 3\nedge 0 1 1\n", "system": "ring:2", "engine": "watch-block"}`
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub server.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Cancel the job once the watch has survived both cut connections and
+	// is riding the third, direct one.
+	go func() {
+		for proxy.conns.Load() < 3 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sub.ID, nil)
+		if r, err := http.DefaultClient.Do(req); err == nil {
+			r.Body.Close()
+		}
+	}()
+
+	var out bytes.Buffer
+	if err := watchEvents(ts.URL, sub.ID, &out); err != nil {
+		t.Fatalf("watchEvents: %v (output so far:\n%s)", err, out.String())
+	}
+	if got := proxy.conns.Load(); got < 3 {
+		t.Fatalf("proxy saw %d /events connections, want >= 3 (two drops + resume)", got)
+	}
+
+	// The printed lines carry strictly increasing sequence numbers and end
+	// with the terminal snapshot.
+	var prev int64
+	var last server.JobStatus
+	lines := 0
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		var st server.JobStatus
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			t.Fatalf("bad output line %q: %v", sc.Text(), err)
+		}
+		if st.Seq <= prev {
+			t.Fatalf("non-monotonic seq in watch output: %d after %d", st.Seq, prev)
+		}
+		prev = st.Seq
+		last = st
+		lines++
+	}
+	if lines < 4 {
+		t.Fatalf("watch printed %d lines, want the cut segments plus the resume", lines)
+	}
+	if last.State != server.StateCancelled {
+		t.Fatalf("terminal line = %+v, want the cancelled snapshot", last)
+	}
+}
+
+// TestWatchUnknownJobFails: a watch on a job the store never held (or
+// already evicted) surfaces the 404 instead of retrying forever.
+func TestWatchUnknownJobFails(t *testing.T) {
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	var out bytes.Buffer
+	if err := watchEvents(ts.URL, "job-999", &out); err == nil {
+		t.Fatal("watchEvents on an unknown job returned nil")
+	}
+}

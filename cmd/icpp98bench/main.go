@@ -44,6 +44,7 @@ func main() {
 		full       = flag.Bool("full", false, "run the paper's full 10..32 size sweep")
 		format     = flag.String("format", "md", "output format: md | csv")
 		out        = flag.String("out", "", "output file (default stdout)")
+		jsonOut    = flag.Bool("json", false, "also write a machine-readable BENCH_<experiment>.json per experiment")
 		procs      = flag.Int("procs", 0, "target PEs per instance (0 = v, the paper's setting)")
 	)
 	flag.Parse()
@@ -88,27 +89,42 @@ func main() {
 	run := func(name string) {
 		started := time.Now()
 		fmt.Fprintf(os.Stderr, "running %s...\n", name)
-		var err error
+		var res bench.Result
 		switch name {
 		case "table1":
-			err = bench.RunTable1(cfg).Write(w, *format)
+			res = bench.RunTable1(cfg)
 		case "fig6":
-			err = bench.RunFig6(cfg).Write(w, *format)
+			res = bench.RunFig6(cfg)
 		case "fig7":
-			err = bench.RunFig7(cfg).Write(w, *format)
+			res = bench.RunFig7(cfg)
 		case "ablation":
-			err = bench.RunAblation(cfg).Write(w, *format)
+			res = bench.RunAblation(cfg)
 		case "distribution":
-			err = bench.RunDistribution(cfg).Write(w, *format)
+			res = bench.RunDistribution(cfg)
 		case "deviation":
-			err = bench.RunDeviation(cfg).Write(w, *format)
+			res = bench.RunDeviation(cfg)
 		case "engines":
-			err = bench.RunEngines(cfg).Write(w, *format)
+			res = bench.RunEngines(cfg)
 		default:
-			err = fmt.Errorf("unknown experiment %q", name)
+			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
-		if err != nil {
+		if err := res.Write(w, *format); err != nil {
 			fatal(err)
+		}
+		if *jsonOut {
+			path := "BENCH_" + name + ".json"
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := bench.WriteJSON(f, name, res); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 		fmt.Fprintf(os.Stderr, "%s done in %v\n", name, time.Since(started).Round(time.Millisecond))
 	}

@@ -15,6 +15,12 @@
 //
 //	icpp98 client -addr http://localhost:8098 submit -engine astar -procs ring:3 -wait g.tg
 //
+// With -cluster the daemon embeds the internal/cluster coordinator:
+// icpp98worker processes register over /v1/workers, queued jobs are leased
+// to them (with heartbeat-based failover back onto survivors), and the
+// daemon's local pool remains the transparent fallback when no workers are
+// registered. See DESIGN.md §9.
+//
 // SIGINT/SIGTERM shut the daemon down gracefully: in-flight searches are
 // cancelled through their job contexts (each returns its best incumbent
 // and is recorded as cancelled) before the process exits.
@@ -30,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -38,15 +45,35 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrently running jobs (0 = GOMAXPROCS)")
 	storeCap := flag.Int("store", 1024, "max retained jobs (active + finished)")
 	ttl := flag.Duration("ttl", 15*time.Minute, "how long finished jobs stay fetchable")
+	clustered := flag.Bool("cluster", false, "accept icpp98worker registrations and lease jobs to them")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "with -cluster: re-queue a leased job unreported for this long")
+	workerTimeout := flag.Duration("worker-timeout", 10*time.Second, "with -cluster: deregister a worker silent for this long")
+	jobAttempts := flag.Int("job-attempts", 3, "with -cluster: attempts a job may lose to worker death/expiry before it fails")
+	backlog := flag.Int("backlog-per-slot", 0, "503 submissions once active jobs reach this × aggregate capacity (0 = store-bound only)")
 	flag.Parse()
 
-	srv := server.New(server.Config{Workers: *workers, StoreCap: *storeCap, TTL: *ttl})
+	srv := server.New(server.Config{
+		Workers: *workers, StoreCap: *storeCap, TTL: *ttl, BacklogPerSlot: *backlog,
+	})
+	var coord *cluster.Coordinator
+	if *clustered {
+		coord = cluster.NewCoordinator(cluster.Config{
+			LeaseTTL:      *leaseTTL,
+			WorkerTimeout: *workerTimeout,
+			MaxAttempts:   *jobAttempts,
+		})
+		srv.EnableCluster(coord)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "icpp98d: serving on %s (workers=%d store=%d ttl=%v)\n",
-		*addr, *workers, *storeCap, *ttl)
+	mode := "local pool only"
+	if *clustered {
+		mode = "cluster coordinator"
+	}
+	fmt.Fprintf(os.Stderr, "icpp98d: serving on %s (workers=%d store=%d ttl=%v, %s)\n",
+		*addr, *workers, *storeCap, *ttl, mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -63,6 +90,9 @@ func main() {
 	// the handler drain below completes promptly instead of riding out the
 	// whole timeout whenever a client is mid-stream.
 	srv.Close()
+	if coord != nil {
+		coord.Close()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	httpSrv.Shutdown(shutdownCtx) // stop accepting, drain handlers

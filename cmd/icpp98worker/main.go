@@ -1,0 +1,54 @@
+// Command icpp98worker is the cluster worker: it registers with a
+// -cluster-enabled icpp98d coordinator, pulls leased solve jobs, runs them
+// on a local solver pool (one slot per -slots, GOMAXPROCS by default), and
+// streams progress and results back over HTTP/JSON.
+//
+//	icpp98d -addr :8098 -cluster &          # the coordinator
+//	icpp98worker -coordinator http://localhost:8098 -slots 8
+//
+// Add workers on as many machines as you like; the daemon's job API is
+// unchanged and falls back to its local pool when no workers are
+// registered. SIGINT/SIGTERM drain gracefully: in-flight jobs are handed
+// back to the coordinator for re-leasing before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "http://localhost:8098", "coordinator base URL (an icpp98d started with -cluster)")
+	name := flag.String("name", "", "worker label in listings (default: hostname)")
+	slots := flag.Int("slots", 0, "concurrent solves (0 = GOMAXPROCS)")
+	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "icpp98worker: "+format+"\n", args...)
+	}
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		Coordinator: *coordinator,
+		Name:        *name,
+		Slots:       *slots,
+		Logf: func(format string, args ...any) {
+			if !*quiet {
+				logf(format, args...)
+			}
+		},
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		logf("%v", err)
+		os.Exit(1)
+	}
+	logf("drained, exiting")
+}

@@ -73,8 +73,9 @@ func RunDeviation(cfg Config) *DeviationResult {
 	return res
 }
 
-// Write renders the result in the requested format ("md" or "csv").
-func (r *DeviationResult) Write(w io.Writer, format string) error {
+// Tables renders one block per CCR.
+func (r *DeviationResult) Tables() []*table {
+	var out []*table
 	for _, ccr := range r.CCRs {
 		t := &table{
 			Title:  fmt.Sprintf("Heuristic deviation from optimal, CCR = %g", ccr),
@@ -93,6 +94,14 @@ func (r *DeviationResult) Write(w io.Writer, format string) error {
 				fmt.Sprintf("%d", row.Solved),
 			})
 		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Write renders the result in the requested format ("md" or "csv").
+func (r *DeviationResult) Write(w io.Writer, format string) error {
+	for _, t := range r.Tables() {
 		var err error
 		if format == "csv" {
 			err = t.WriteCSV(w)

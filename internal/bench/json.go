@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// This file is the machine-readable side of the harness: WriteJSON turns
+// any experiment result into a BENCH_<name>.json report, so the perf
+// trajectory of the repository can be recorded run-over-run and diffed by
+// tooling instead of read off markdown tables.
+
+// Result is the surface every experiment result shares: render as
+// tables, and write in a human format. The seven Run* constructors all
+// return one.
+type Result interface {
+	Tables() []*table
+	Write(w io.Writer, format string) error
+}
+
+// EngineRecord is one fully machine-readable measurement: an engine on an
+// instance, with its throughput derived. Only the engines experiment
+// produces these (the other experiments export their tables verbatim).
+type EngineRecord struct {
+	CCR            float64 `json:"ccr"`
+	V              int     `json:"v"`
+	Engine         string  `json:"engine"`
+	Section        string  `json:"section,omitempty"`
+	WallMS         float64 `json:"wall_ms"`
+	Expanded       int64   `json:"expanded"`
+	ExpandedPerSec float64 `json:"expanded_per_sec"`
+	Makespan       int32   `json:"makespan"`
+	Optimal        bool    `json:"optimal"`
+}
+
+// TableJSON is the generic export of one rendered table.
+type TableJSON struct {
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// JSONReport is the top-level shape of a BENCH_<name>.json file.
+type JSONReport struct {
+	Experiment string `json:"experiment"`
+	// GeneratedAt is RFC 3339 UTC, so consecutive reports sort by name
+	// and diff by time.
+	GeneratedAt string         `json:"generated_at"`
+	Engines     []EngineRecord `json:"engines,omitempty"`
+	Tables      []TableJSON    `json:"tables"`
+}
+
+// Records derives the per-engine measurements of the engines experiment,
+// including expanded-states/sec (0 for a cell too fast to time).
+func (r *EnginesResult) Records() []EngineRecord {
+	out := make([]EngineRecord, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rec := EngineRecord{
+			CCR:      row.CCR,
+			V:        row.V,
+			Engine:   row.Engine,
+			Section:  row.Section,
+			WallMS:   float64(row.Time.Microseconds()) / 1000,
+			Expanded: row.Expanded,
+			Makespan: row.Length,
+			Optimal:  row.Optimal,
+		}
+		if row.Time > 0 {
+			rec.ExpandedPerSec = float64(row.Expanded) / row.Time.Seconds()
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// WriteJSON writes the machine-readable report of one experiment run.
+func WriteJSON(w io.Writer, name string, r Result) error {
+	rep := JSONReport{
+		Experiment:  name,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	if er, ok := r.(*EnginesResult); ok {
+		rep.Engines = er.Records()
+	}
+	for _, t := range r.Tables() {
+		rep.Tables = append(rep.Tables, TableJSON{
+			Title:  t.Title,
+			Header: t.Header,
+			Rows:   t.Rows,
+			Notes:  t.Notes,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

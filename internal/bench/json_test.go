@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestWriteJSONEngines runs a tiny engines experiment and checks the
+// machine-readable report round-trips with the derived throughput field —
+// the run-over-run perf record cmd/icpp98bench -json writes.
+func TestWriteJSONEngines(t *testing.T) {
+	cfg := Config{Sizes: []int{8}, CCRs: []float64{1.0}, Seed: 7, CellTimeout: 30 * time.Second}
+	res := RunEngines(cfg)
+	if len(res.Rows) == 0 {
+		t.Fatal("engines experiment produced no rows")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "engines", res); err != nil {
+		t.Fatal(err)
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Experiment != "engines" || rep.GeneratedAt == "" {
+		t.Fatalf("report header = %+v", rep)
+	}
+	if _, err := time.Parse(time.RFC3339, rep.GeneratedAt); err != nil {
+		t.Fatalf("generated_at %q: %v", rep.GeneratedAt, err)
+	}
+	if len(rep.Engines) != len(res.Rows) {
+		t.Fatalf("report has %d engine records for %d rows", len(rep.Engines), len(res.Rows))
+	}
+	seen := map[string]bool{}
+	for _, rec := range rep.Engines {
+		seen[rec.Engine] = true
+		if rec.Makespan <= 0 {
+			t.Errorf("%s: makespan = %d, want > 0", rec.Engine, rec.Makespan)
+		}
+		if rec.WallMS > 0 && rec.Expanded > 0 && rec.ExpandedPerSec <= 0 {
+			t.Errorf("%s: expanded_per_sec = %g with %d expanded in %gms",
+				rec.Engine, rec.ExpandedPerSec, rec.Expanded, rec.WallMS)
+		}
+	}
+	for _, want := range []string{"astar", "dfbb", "bnb"} {
+		if !seen[want] {
+			t.Errorf("report misses engine %q", want)
+		}
+	}
+	if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) != len(res.Rows) {
+		t.Fatalf("report tables = %+v", rep.Tables)
+	}
+}
+
+// TestWriteJSONGenericTables checks a non-engines experiment exports its
+// tables verbatim (the generic path of WriteJSON).
+func TestWriteJSONGenericTables(t *testing.T) {
+	cfg := Config{Sizes: []int{8}, CCRs: []float64{1.0}, Seed: 7, CellTimeout: 30 * time.Second}
+	res := RunDeviation(cfg)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "deviation", res); err != nil {
+		t.Fatal(err)
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Engines) != 0 {
+		t.Fatalf("deviation report has engine records: %+v", rep.Engines)
+	}
+	if len(rep.Tables) == 0 || rep.Tables[0].Title == "" || len(rep.Tables[0].Header) == 0 {
+		t.Fatalf("deviation report tables = %+v", rep.Tables)
+	}
+}

@@ -1,0 +1,664 @@
+// Package cluster turns the one-node solve daemon into a horizontally
+// scalable service: a Coordinator embedded in icpp98d leases queued jobs
+// to remote workers over HTTP/JSON, and the Worker runtime (cmd/
+// icpp98worker) registers with a coordinator, pulls leases, solves them on
+// its local solver pool, and streams progress and results back.
+//
+// The client-facing job API is unchanged in both modes. The coordinator
+// implements server.Dispatcher: a submitted job is offered to the cluster
+// first and falls back transparently to the daemon's local pool when no
+// workers are registered (or every eligible worker has already failed it).
+// Liveness is heartbeat-based — lease polls and job reports refresh a
+// worker's last-seen time — and every lease carries a deadline: a job on a
+// dead or silent worker is re-queued onto the survivors with a bounded
+// retry count, after which it fails with the collected reason. The
+// parallelization story follows the multi-machine scaling of optimal task
+// scheduling in Orr & Sinnen and Akram et al. (PAPERS.md): whole-job
+// sharding here, the substrate for search-tree sharding later.
+//
+// See DESIGN.md §9 for the lease lifecycle and the backpressure math, and
+// docs/API.md for the /v1/workers endpoints.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Config tunes the coordinator's failure detection. The zero value is
+// production-usable; tests shrink the durations.
+type Config struct {
+	// LeaseTTL is how long a leased job may go unreported before it is
+	// re-queued; every report extends it. <= 0 selects 15s.
+	LeaseTTL time.Duration
+	// WorkerTimeout is how long a worker may go entirely silent (no lease
+	// poll, report, or heartbeat) before it is deregistered and its leases
+	// re-queued. <= 0 selects 10s.
+	WorkerTimeout time.Duration
+	// MaxAttempts bounds the attempts a job may lose to worker death or
+	// lease expiry before it fails with the collected reasons (graceful
+	// hand-backs are free). < 1 selects 3.
+	MaxAttempts int
+	// PollWait caps how long a lease long-poll is held. <= 0 selects 5s.
+	PollWait time.Duration
+	// ReportInterval is the progress cadence advertised to workers.
+	// <= 0 selects 1s.
+	ReportInterval time.Duration
+	// ReapInterval is the failure-detector tick. <= 0 selects a quarter of
+	// the smaller of LeaseTTL and WorkerTimeout.
+	ReapInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.WorkerTimeout <= 0 {
+		c.WorkerTimeout = 10 * time.Second
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 3
+	}
+	if c.PollWait <= 0 {
+		c.PollWait = 5 * time.Second
+	}
+	if c.ReportInterval <= 0 {
+		c.ReportInterval = time.Second
+	}
+	// A lease must comfortably outlive the report cadence, or healthy
+	// workers' leases expire between reports and every clustered job
+	// burns its attempts on spurious failovers. Clamp the advertised
+	// cadence to a third of the TTL rather than let a small -lease-ttl
+	// fail the whole fleet.
+	if c.ReportInterval > c.LeaseTTL/3 {
+		c.ReportInterval = c.LeaseTTL / 3
+	}
+	// Likewise an idle worker is only heard from at the top of each lease
+	// long-poll: the poll hold must sit well inside the worker timeout or
+	// healthy idle workers get reaped mid-wait and flap through
+	// re-registration forever.
+	if c.PollWait > c.WorkerTimeout/2 {
+		c.PollWait = c.WorkerTimeout / 2
+	}
+	if c.ReapInterval <= 0 {
+		c.ReapInterval = min(c.LeaseTTL, c.WorkerTimeout) / 4
+	}
+	return c
+}
+
+// workerState is the coordinator's record of one registered worker.
+type workerState struct {
+	id       string
+	name     string
+	capacity int
+	engines  []string
+	lastSeen time.Time
+	jobsDone int64
+	leased   map[string]*task // job ID → task
+}
+
+// outcome resolves one dispatched task. fallback means the cluster gives
+// the job back for a local solve; otherwise res/errMessage mirror the
+// local solve contract (nil res + empty errMessage is a result-less end,
+// e.g. cancellation).
+type outcome struct {
+	res        *server.JobResult
+	errMessage string
+	fallback   bool
+}
+
+// task is one dispatched job's lease-table entry.
+type task struct {
+	job  server.DispatchJob
+	ctx  context.Context
+	done chan outcome // buffered(1); receives exactly one outcome
+	// rawGraph/rawSystem are the instance's wire bytes, marshalled once at
+	// Dispatch time (outside the coordinator lock) and reused by every
+	// lease attempt.
+	rawGraph, rawSystem json.RawMessage
+
+	attempts    int             // leases granted (1-based on the wire)
+	failures    int             // attempts lost to death/expiry — what MaxAttempts bounds
+	excluded    map[string]bool // workers that already failed (or handed back) this job
+	worker      string          // "" while pending
+	leaseExpiry time.Time
+	started     bool
+	reasons     []string // failure reason of each abandoned/expired attempt
+	// base* accumulate the progress of completed attempts; last* hold the
+	// current attempt's running totals (folded into base on re-queue).
+	baseExp, baseGen int64
+	lastExp, lastGen int64
+	resolved         bool
+}
+
+// Coordinator is the cluster's control plane: the worker registry, the
+// pending-job queue, and the lease table, behind one mutex. It implements
+// server.ClusterBackend; mount it with server.EnableCluster.
+type Coordinator struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	tasks   map[string]*task // every unresolved dispatched job
+	pending []*task          // FIFO subset of tasks awaiting a lease
+	wake    chan struct{}    // closed+replaced to wake lease long-polls
+	seq     int64
+
+	dispatched int64
+	failovers  int64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewCoordinator builds a coordinator and starts its failure detector.
+// Close it to stop the detector and give every unresolved job back to the
+// local pool.
+func NewCoordinator(cfg Config) *Coordinator {
+	c := &Coordinator{
+		cfg:     cfg.withDefaults(),
+		workers: map[string]*workerState{},
+		tasks:   map[string]*task{},
+		wake:    make(chan struct{}),
+		closed:  make(chan struct{}),
+	}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("GET /v1/workers", c.handleList)
+	c.mux.HandleFunc("POST /v1/workers/register", c.handleRegister)
+	c.mux.HandleFunc("POST /v1/workers/heartbeat", c.handleHeartbeat)
+	c.mux.HandleFunc("POST /v1/workers/lease", c.handleLease)
+	c.mux.HandleFunc("POST /v1/workers/jobs/{id}/report", c.handleReport)
+	go c.reap()
+	return c
+}
+
+// Handler implements server.ClusterBackend.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Close stops the failure detector and resolves every unresolved task as
+// a local fallback, so no Dispatch caller is left blocked.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.mu.Lock()
+		for _, t := range c.tasks {
+			c.resolveLocked(t, outcome{fallback: true})
+		}
+		c.mu.Unlock()
+	})
+}
+
+// broadcastLocked wakes every lease long-poll to re-check the queue.
+func (c *Coordinator) broadcastLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+// resolveLocked delivers a task's outcome exactly once and drops it from
+// the lease table and pending queue.
+func (c *Coordinator) resolveLocked(t *task, out outcome) {
+	if t.resolved {
+		return
+	}
+	t.resolved = true
+	delete(c.tasks, t.job.ID)
+	for i, p := range c.pending {
+		if p == t {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			break
+		}
+	}
+	if t.worker != "" {
+		if w := c.workers[t.worker]; w != nil {
+			delete(w.leased, t.job.ID)
+		}
+	}
+	t.done <- out
+}
+
+// eligibleLocked reports whether any live worker may still run the task.
+func (c *Coordinator) eligibleLocked(t *task) bool {
+	for id := range c.workers {
+		if !t.excluded[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// requeueLocked puts a leased task back in the queue after its worker
+// died, went silent, or handed it back — or resolves it when retrying is
+// pointless: cancelled (result-less cancelled end), out of failure budget
+// (failed with the collected reasons), or no eligible worker left (local
+// fallback). budgeted distinguishes a real failure (death, expiry) from a
+// graceful hand-back: only failures count against MaxAttempts, so a
+// rolling restart of the fleet never turns a healthy job into a failed
+// one — it just keeps re-homing until a steady worker (or the local pool)
+// finishes it. The worker is excluded from this task either way: a
+// draining or flaky worker must not be handed the same job straight back.
+func (c *Coordinator) requeueLocked(t *task, reason string, budgeted bool) {
+	c.failovers++
+	if t.worker != "" {
+		t.excluded[t.worker] = true
+	}
+	if w := c.workers[t.worker]; w != nil {
+		delete(w.leased, t.job.ID)
+	}
+	t.worker = ""
+	t.leaseExpiry = time.Time{}
+	t.baseExp += t.lastExp
+	t.baseGen += t.lastGen
+	t.lastExp, t.lastGen = 0, 0
+	t.reasons = append(t.reasons, reason)
+	if budgeted {
+		t.failures++
+	}
+	switch {
+	case t.ctx.Err() != nil:
+		c.resolveLocked(t, outcome{})
+	case t.failures >= c.cfg.MaxAttempts:
+		c.resolveLocked(t, outcome{errMessage: fmt.Sprintf(
+			"cluster: job gave out after %d failed attempts: %s", t.failures, strings.Join(t.reasons, "; "))})
+	case !c.eligibleLocked(t):
+		c.resolveLocked(t, outcome{fallback: true})
+	default:
+		c.pending = append(c.pending, t)
+		c.broadcastLocked()
+	}
+}
+
+// reap is the failure detector: deregister silent workers (re-queueing
+// their leases), re-queue expired leases, and fall pending tasks that no
+// live worker may run back to the local pool.
+func (c *Coordinator) reap() {
+	ticker := time.NewTicker(c.cfg.ReapInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		c.mu.Lock()
+		for id, w := range c.workers {
+			if now.Sub(w.lastSeen) <= c.cfg.WorkerTimeout {
+				continue
+			}
+			delete(c.workers, id)
+			for _, t := range w.leased {
+				c.requeueLocked(t, fmt.Sprintf("worker %s (%s) missed heartbeats", w.name, id), true)
+			}
+		}
+		for _, t := range c.tasks {
+			if t.worker != "" && now.After(t.leaseExpiry) {
+				c.requeueLocked(t, fmt.Sprintf("lease expired on worker %s", t.worker), true)
+			}
+		}
+		for _, t := range append([]*task(nil), c.pending...) {
+			if t.ctx.Err() != nil {
+				c.resolveLocked(t, outcome{})
+			} else if !c.eligibleLocked(t) {
+				c.resolveLocked(t, outcome{fallback: true})
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Dispatch implements server.Dispatcher: enqueue the job for leasing and
+// block until the cluster resolves it. It declines immediately (handled =
+// false) when no workers are registered — the transparent local fallback.
+func (c *Coordinator) Dispatch(ctx context.Context, job server.DispatchJob) (*server.JobResult, string, bool) {
+	c.mu.Lock()
+	if len(c.workers) == 0 {
+		c.mu.Unlock()
+		return nil, "", false
+	}
+	c.mu.Unlock()
+	// Serialize the instance once, outside the lock: every lease attempt
+	// sends identical bytes, and lease grants must not hold the global
+	// mutex through a graph-sized marshal. A validated instance cannot
+	// fail to encode; if it somehow does, that is this job's failure, not
+	// a queue wedge.
+	rawGraph, err := json.Marshal(job.Graph)
+	if err != nil {
+		return nil, fmt.Sprintf("cluster: encode graph: %v", err), true
+	}
+	rawSystem, err := json.Marshal(job.System)
+	if err != nil {
+		return nil, fmt.Sprintf("cluster: encode system: %v", err), true
+	}
+	t := &task{
+		job:       job,
+		ctx:       ctx,
+		done:      make(chan outcome, 1),
+		rawGraph:  rawGraph,
+		rawSystem: rawSystem,
+		excluded:  map[string]bool{},
+	}
+	c.mu.Lock()
+	// The closed re-check happens under the same critical section as the
+	// enqueue: Close resolves the task table while holding the mutex, so
+	// a task admitted here is either seen and drained by Close or refused
+	// — never stranded between the two.
+	select {
+	case <-c.closed:
+		c.mu.Unlock()
+		return nil, "", false
+	default:
+	}
+	c.tasks[job.ID] = t
+	c.pending = append(c.pending, t)
+	c.broadcastLocked()
+	c.mu.Unlock()
+
+	var out outcome
+	select {
+	case out = <-t.done:
+	case <-ctx.Done():
+		// Cancellation resolves promptly: a pending task ends result-less
+		// here and now; a leased one likewise — its worker learns on the
+		// next report (410) and stops within one expansion.
+		c.mu.Lock()
+		c.resolveLocked(t, outcome{})
+		c.mu.Unlock()
+		out = <-t.done
+	}
+	if out.fallback {
+		return nil, "", false
+	}
+	return out.res, out.errMessage, true
+}
+
+// Capacity implements server.Dispatcher.
+func (c *Coordinator) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, w := range c.workers {
+		n += w.capacity
+	}
+	return n
+}
+
+// FreeSlots implements server.Dispatcher: remote slots neither leased nor
+// already claimed by a pending job. The server uses it as a placement
+// hint — a saturated cluster does not soak up jobs an idle local slot
+// could be solving.
+func (c *Coordinator) FreeSlots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	free := -len(c.pending)
+	for _, w := range c.workers {
+		free += w.capacity - len(w.leased)
+	}
+	return max(free, 0)
+}
+
+// Health implements server.Dispatcher.
+func (c *Coordinator) Health() *server.ClusterHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := &server.ClusterHealth{
+		Workers:    len(c.workers),
+		Pending:    len(c.pending),
+		Dispatched: c.dispatched,
+		Failovers:  c.failovers,
+	}
+	for _, w := range c.workers {
+		h.Capacity += w.capacity
+		h.Leased += len(w.leased)
+	}
+	return h
+}
+
+// EngineWorkers implements server.Dispatcher.
+func (c *Coordinator) EngineWorkers() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[string]int{}
+	for _, w := range c.workers {
+		for _, name := range w.engines {
+			out[name]++
+		}
+	}
+	return out
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	// Unknown fields are a protocol mismatch (version skew, a mis-fielded
+	// terminal flag) and must fail loudly with a 400 — matching the job
+	// API's submit decoder — rather than be silently dropped, which would
+	// e.g. turn a Done report into a plain progress report and burn the
+	// job's failure budget on lease expiries.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		server.WriteError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Capacity < 1 {
+		req.Capacity = 1
+	}
+	c.mu.Lock()
+	c.seq++
+	id := fmt.Sprintf("worker-%d", c.seq)
+	c.workers[id] = &workerState{
+		id:       id,
+		name:     req.Name,
+		capacity: req.Capacity,
+		engines:  req.Engines,
+		lastSeen: time.Now(),
+		leased:   map[string]*task{},
+	}
+	c.mu.Unlock()
+	server.WriteJSON(w, http.StatusOK, RegisterResponse{
+		WorkerID:         id,
+		LeaseTTLMS:       c.cfg.LeaseTTL.Milliseconds(),
+		ReportIntervalMS: c.cfg.ReportInterval.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	ws := c.workers[req.WorkerID]
+	if ws != nil {
+		ws.lastSeen = time.Now()
+	}
+	c.mu.Unlock()
+	if ws == nil {
+		server.WriteError(w, http.StatusNotFound, "unknown worker %q (re-register)", req.WorkerID)
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, struct{}{})
+}
+
+// handleLease long-polls for the next runnable job. 200 with a null job
+// means the poll timed out empty; 404 tells a forgotten worker to
+// re-register.
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	wait := c.cfg.PollWait
+	if req.WaitMS > 0 && time.Duration(req.WaitMS)*time.Millisecond < wait {
+		wait = time.Duration(req.WaitMS) * time.Millisecond
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		c.mu.Lock()
+		ws := c.workers[req.WorkerID]
+		if ws == nil {
+			c.mu.Unlock()
+			server.WriteError(w, http.StatusNotFound, "unknown worker %q (re-register)", req.WorkerID)
+			return
+		}
+		ws.lastSeen = time.Now()
+		if lease, started := c.grantLocked(ws); lease != nil {
+			c.mu.Unlock()
+			if started != nil {
+				started()
+			}
+			server.WriteJSON(w, http.StatusOK, LeaseResponse{Job: lease})
+			return
+		}
+		wakeCh := c.wake
+		c.mu.Unlock()
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			server.WriteJSON(w, http.StatusOK, LeaseResponse{Job: nil})
+			return
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-wakeCh:
+		case <-timer.C:
+		case <-r.Context().Done():
+		case <-c.closed:
+		}
+		timer.Stop()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-c.closed:
+			server.WriteJSON(w, http.StatusOK, LeaseResponse{Job: nil})
+			return
+		default:
+		}
+	}
+}
+
+// grantLocked pops the first pending task this worker may run and leases
+// it. It returns the job's Started callback (to invoke outside the lock)
+// the first time the job is ever leased.
+func (c *Coordinator) grantLocked(ws *workerState) (*LeasedJob, func()) {
+	if len(ws.leased) >= ws.capacity {
+		return nil, nil
+	}
+	for i := 0; i < len(c.pending); {
+		t := c.pending[i]
+		if t.ctx.Err() != nil {
+			// A lazily-discovered cancellation: resolveLocked removes the
+			// task from c.pending, so the scan continues at the same index.
+			c.resolveLocked(t, outcome{})
+			continue
+		}
+		if t.excluded[ws.id] {
+			i++
+			continue
+		}
+		c.pending = append(c.pending[:i], c.pending[i+1:]...)
+		t.worker = ws.id
+		t.leaseExpiry = time.Now().Add(c.cfg.LeaseTTL)
+		t.attempts++
+		ws.leased[t.job.ID] = t
+		c.dispatched++
+		lease := &LeasedJob{
+			ID:      t.job.ID,
+			Attempt: t.attempts,
+			Graph:   t.rawGraph,
+			System:  t.rawSystem,
+			Engines: t.job.Engines,
+			Config:  t.job.Config,
+		}
+		var started func()
+		if !t.started {
+			t.started = true
+			started = t.job.Started
+		}
+		return lease, started
+	}
+	return nil, nil
+}
+
+// handleReport ingests a worker's progress or terminal report. 404 means
+// the worker itself is unknown; 410 means the lease is gone (job resolved,
+// cancelled, or re-queued elsewhere) and the worker must drop the job
+// without further reports.
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req ReportRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	ws := c.workers[req.WorkerID]
+	if ws == nil {
+		c.mu.Unlock()
+		server.WriteError(w, http.StatusNotFound, "unknown worker %q (re-register)", req.WorkerID)
+		return
+	}
+	ws.lastSeen = time.Now()
+	t := c.tasks[id]
+	if t == nil || t.worker != req.WorkerID {
+		c.mu.Unlock()
+		server.WriteError(w, http.StatusGone, "no lease on job %q held by worker %q", id, req.WorkerID)
+		return
+	}
+	t.leaseExpiry = time.Now().Add(c.cfg.LeaseTTL)
+	t.lastExp, t.lastGen = req.Expanded, req.Generated
+	cancel := t.ctx.Err() != nil
+	// The progress fold happens under the mutex, atomically with the
+	// lease-holder check above: a stale report racing a failover must not
+	// rewind the counters after the survivor reported larger totals.
+	if t.job.Progress != nil {
+		t.job.Progress(t.baseExp+req.Expanded, t.baseGen+req.Generated)
+	}
+	switch {
+	case req.Abandon:
+		// Abandon hands back exactly this job (docs/API.md): it re-queues
+		// without charging the failure budget, and the handing-back worker
+		// is excluded from it — so a sole draining worker's job falls to
+		// the local pool immediately instead of bouncing back to it, while
+		// the worker's other leases run on untouched.
+		c.requeueLocked(t, fmt.Sprintf("worker %s (%s) handed the job back", ws.name, ws.id), false)
+	case req.Done:
+		ws.jobsDone++
+		c.resolveLocked(t, outcome{res: req.Result, errMessage: req.Error})
+	}
+	c.mu.Unlock()
+	server.WriteJSON(w, http.StatusOK, ReportResponse{Cancel: cancel})
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	c.mu.Lock()
+	out := WorkerList{Workers: []WorkerInfo{}}
+	for _, ws := range c.workers {
+		out.Workers = append(out.Workers, WorkerInfo{
+			ID:         ws.id,
+			Name:       ws.name,
+			Capacity:   ws.capacity,
+			Leased:     len(ws.leased),
+			JobsDone:   ws.jobsDone,
+			Engines:    ws.engines,
+			LastSeenMS: now.Sub(ws.lastSeen).Milliseconds(),
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(out.Workers, func(i, k int) bool { return out.Workers[i].ID < out.Workers[k].ID })
+	server.WriteJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"encoding/json"
+
+	"repro/internal/server"
+)
+
+// This file defines the coordinator↔worker wire protocol — JSON over the
+// daemon's /v1/workers endpoints. Job payloads reuse the public job API's
+// wire types (server.JobConfig, server.JobResult), so a schedule computed
+// remotely is byte-identical on the wire to one computed locally.
+// docs/API.md documents the same shapes; the two must move together.
+
+// RegisterRequest is the body of POST /v1/workers/register: a worker
+// announcing itself and its capacity.
+type RegisterRequest struct {
+	// Name is a human-readable label (hostname by default); the coordinator
+	// assigns the unique ID.
+	Name string `json:"name"`
+	// Capacity is how many jobs the worker solves concurrently.
+	Capacity int `json:"capacity"`
+	// Engines are the registry engines the worker serves, for the
+	// /v1/engines cluster view.
+	Engines []string `json:"engines,omitempty"`
+}
+
+// RegisterResponse returns the assigned worker ID and the cadence contract:
+// a leased job must be reported on (or the lease re-confirmed) within the
+// lease TTL, and the worker should report progress every interval.
+type RegisterResponse struct {
+	WorkerID         string `json:"worker_id"`
+	LeaseTTLMS       int64  `json:"lease_ttl_ms"`
+	ReportIntervalMS int64  `json:"report_interval_ms"`
+}
+
+// HeartbeatRequest is the body of POST /v1/workers/heartbeat. Lease polls
+// and job reports refresh the worker's liveness implicitly; the explicit
+// endpoint covers a worker that is momentarily doing neither (draining,
+// or a custom client between phases).
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseRequest is the body of POST /v1/workers/lease: a long poll for the
+// next queued job. The coordinator holds the request up to WaitMS (capped
+// by its own poll bound) when the queue is empty.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	WaitMS   int64  `json:"wait_ms,omitempty"`
+}
+
+// LeasedJob is one job handed to a worker: the instance in its canonical
+// JSON wire forms plus the submitter's engine selection and budget.
+type LeasedJob struct {
+	ID string `json:"id"`
+	// Attempt counts the leases granted for this job, 1-based; > 1 means
+	// the job failed over from another worker.
+	Attempt int              `json:"attempt"`
+	Graph   json.RawMessage  `json:"graph"`
+	System  json.RawMessage  `json:"system"`
+	Engines []string         `json:"engines"`
+	Config  server.JobConfig `json:"config"`
+}
+
+// LeaseResponse is the body of a 200 lease reply; Job is null when the
+// poll timed out with nothing to run.
+type LeaseResponse struct {
+	Job *LeasedJob `json:"job"`
+}
+
+// ReportRequest is the body of POST /v1/workers/jobs/{id}/report — the
+// worker's progress heartbeat while solving, and its terminal report.
+// Exactly one of the terminal flags may be set: Done carries the outcome
+// (Result or Error), Abandon hands the job back for re-leasing (a worker
+// draining on shutdown).
+type ReportRequest struct {
+	WorkerID string `json:"worker_id"`
+	// Expanded/Generated are the absolute totals of this attempt; the
+	// coordinator folds them into the job's live progress on top of the
+	// counts earlier attempts accumulated.
+	Expanded  int64 `json:"expanded"`
+	Generated int64 `json:"generated"`
+
+	Done    bool              `json:"done,omitempty"`
+	Result  *server.JobResult `json:"result,omitempty"`
+	Error   string            `json:"error,omitempty"`
+	Abandon bool              `json:"abandon,omitempty"`
+}
+
+// ReportResponse acknowledges a report. Cancel tells the worker to stop
+// the solve: the job was cancelled (or the daemon is shutting down) and
+// no further reports are expected.
+type ReportResponse struct {
+	Cancel bool `json:"cancel"`
+}
+
+// WorkerInfo is one row of GET /v1/workers.
+type WorkerInfo struct {
+	ID       string   `json:"id"`
+	Name     string   `json:"name"`
+	Capacity int      `json:"capacity"`
+	Leased   int      `json:"leased"`
+	JobsDone int64    `json:"jobs_done"`
+	Engines  []string `json:"engines,omitempty"`
+	// LastSeenMS is the time since the worker's last heartbeat (register,
+	// lease poll, report, or explicit heartbeat).
+	LastSeenMS int64 `json:"last_seen_ms"`
+}
+
+// WorkerList is the body of GET /v1/workers.
+type WorkerList struct {
+	Workers []WorkerInfo `json:"workers"`
+}

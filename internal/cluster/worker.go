@@ -1,0 +1,416 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/procgraph"
+	"repro/internal/server"
+	"repro/internal/solverpool"
+	"repro/internal/taskgraph"
+)
+
+// WorkerConfig configures a worker runtime.
+type WorkerConfig struct {
+	// Coordinator is the daemon's base URL, e.g. "http://host:8098".
+	Coordinator string
+	// Name labels the worker in listings; empty selects the hostname.
+	Name string
+	// Slots bounds concurrent solves; < 1 selects GOMAXPROCS.
+	Slots int
+	// Client is the HTTP client; nil selects http.DefaultClient.
+	Client *http.Client
+	// Logf receives operational messages; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Worker pulls leased jobs from a coordinator and solves them on a local
+// solverpool.Pool — the same pool type behind the daemon itself, so the
+// pool's capacity introspection (Workers) is what the worker registers as
+// its slot count, and repeated leases of one instance hit the pool's model
+// memoization exactly like local jobs do.
+//
+// Run blocks until the context is cancelled, then drains gracefully: it
+// cancels in-flight solves and hands their jobs back to the coordinator
+// for re-leasing (Abandon). Kill, for tests and crash drills, stops
+// everything silently — no abandon, no further heartbeats — which is what
+// a power cut looks like to the coordinator.
+type Worker struct {
+	base   string
+	name   string
+	pool   *solverpool.Pool
+	client *http.Client
+	logf   func(string, ...any)
+
+	id          string
+	reportEvery time.Duration
+
+	killed     atomic.Bool
+	cancel     context.CancelFunc
+	mu         sync.Mutex // guards id, reportEvery, and cancel during re-registration/kill
+	registerMu sync.Mutex // single-flights re-registration across the pullers
+}
+
+// NewWorker builds a worker; Run starts it.
+func NewWorker(cfg WorkerConfig) *Worker {
+	name := cfg.Name
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Worker{
+		base:   strings.TrimRight(cfg.Coordinator, "/"),
+		name:   name,
+		pool:   solverpool.New(cfg.Slots),
+		client: client,
+		logf:   logf,
+	}
+}
+
+// Kill simulates a crash: every solve stops, and nothing is reported or
+// abandoned — the coordinator discovers the death by missed heartbeats and
+// fails the worker's leases over.
+func (w *Worker) Kill() {
+	w.killed.Store(true)
+	w.mu.Lock()
+	cancel := w.cancel
+	w.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// post sends one JSON request and decodes a 2xx body into out (skipped
+// when out is nil); a non-2xx reply is returned as a statusError.
+func (w *Worker) post(ctx context.Context, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e server.ErrorResponse
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &statusError{code: resp.StatusCode, msg: msg}
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("%d: %s", e.code, e.msg) }
+
+func statusCode(err error) int {
+	if se, ok := err.(*statusError); ok {
+		return se.code
+	}
+	return 0
+}
+
+// register announces the worker, retrying until ctx ends (the daemon may
+// come up after the worker).
+func (w *Worker) register(ctx context.Context) error {
+	req := RegisterRequest{Name: w.name, Capacity: w.pool.Workers(), Engines: engine.Names()}
+	for {
+		var resp RegisterResponse
+		err := w.post(ctx, "/v1/workers/register", req, &resp)
+		if err == nil {
+			every := time.Duration(resp.ReportIntervalMS) * time.Millisecond
+			if every <= 0 {
+				every = time.Second
+			}
+			w.mu.Lock()
+			w.id = resp.WorkerID
+			w.reportEvery = every
+			w.mu.Unlock()
+			w.logf("registered as %s (capacity %d) with %s", resp.WorkerID, req.Capacity, w.base)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if code := statusCode(err); code >= 400 && code < 500 {
+			// The daemon answered and refused: a 404 means it runs without
+			// -cluster, a 400 a protocol mismatch — neither heals with
+			// retries, and a supervisor should see the process fail.
+			return fmt.Errorf("register with %s: %w", w.base, err)
+		}
+		w.logf("register: %v (retrying)", err)
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func (w *Worker) workerID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// reregister refreshes a registration the coordinator forgot,
+// single-flight across the pullers: whichever puller saw the 404 first
+// re-registers; the ones racing behind it observe the ID already moved on
+// from staleID and reuse the fresh registration instead of creating
+// duplicate worker entries.
+func (w *Worker) reregister(ctx context.Context, staleID string) error {
+	w.registerMu.Lock()
+	defer w.registerMu.Unlock()
+	if w.workerID() != staleID {
+		return nil
+	}
+	return w.register(ctx)
+}
+
+func (w *Worker) reportInterval() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.reportEvery
+}
+
+// Run registers with the coordinator and pulls leases on one goroutine per
+// pool slot until ctx is cancelled; each puller is always either
+// long-polling for a lease or reporting on a solve, so the worker's
+// liveness needs no separate heartbeat loop. In-flight jobs are abandoned
+// back to the coordinator on the way out (unless Kill struck first).
+func (w *Worker) Run(ctx context.Context) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	w.mu.Lock()
+	w.cancel = cancel
+	w.mu.Unlock()
+	defer cancel()
+	if err := w.register(runCtx); err != nil {
+		return err
+	}
+	// The first puller to hit a fatal error (a permanently refused
+	// re-registration) records it and stops the siblings, so Run returns
+	// non-nil and the process exits visibly instead of reporting a clean
+	// drain.
+	var wg sync.WaitGroup
+	var fatalOnce sync.Once
+	var fatalErr error
+	for i := 0; i < w.pool.Workers(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.pull(runCtx); err != nil {
+				fatalOnce.Do(func() {
+					fatalErr = err
+					cancel()
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if fatalErr != nil && ctx.Err() == nil {
+		return fatalErr
+	}
+	return ctx.Err()
+}
+
+// pull is one slot's lease loop; it returns non-nil only on a fatal,
+// non-transient error. The worker ID is captured per poll and pinned to
+// the resulting lease: a re-registration by a sibling puller must not
+// change the identity a running job reports under.
+func (w *Worker) pull(ctx context.Context) error {
+	for ctx.Err() == nil {
+		id := w.workerID()
+		var resp LeaseResponse
+		err := w.post(ctx, "/v1/workers/lease", LeaseRequest{WorkerID: id}, &resp)
+		switch {
+		case err == nil:
+			if resp.Job != nil {
+				w.runJob(ctx, id, resp.Job)
+			}
+		case ctx.Err() != nil:
+			return nil
+		case statusCode(err) == http.StatusNotFound:
+			// The coordinator forgot us (restart, timeout): re-register.
+			w.logf("lease: %v", err)
+			if rerr := w.reregister(ctx, id); rerr != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				return rerr
+			}
+		default:
+			w.logf("lease: %v (retrying)", err)
+			select {
+			case <-time.After(time.Second):
+			case <-ctx.Done():
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// runJob solves one leased job, streaming progress reports and ending with
+// a terminal report: Done with the result (or error), or Abandon when the
+// worker is draining. Every report carries workerID, the identity the
+// lease was granted under (not the live one, which a sibling puller's
+// re-registration may have moved on). A killed worker reports nothing at
+// all.
+func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) {
+	w.logf("job %s (attempt %d): %s", lease.ID, lease.Attempt, strings.Join(lease.Engines, ","))
+	g, err := taskgraph.FromJSON(lease.Graph)
+	if err != nil {
+		w.finishJob(workerID, lease.ID, 0, 0, nil, fmt.Sprintf("decode graph: %v", err))
+		return
+	}
+	sys, err := procgraph.FromJSON(lease.System)
+	if err != nil {
+		w.finishJob(workerID, lease.ID, 0, 0, nil, fmt.Sprintf("decode system: %v", err))
+		return
+	}
+
+	progress := &solverpool.Progress{}
+	cfg := lease.Config.EngineConfig()
+	progress.Attach(&cfg)
+	jobCtx, cancelJob := context.WithCancel(ctx)
+	defer cancelJob()
+
+	// The reporter doubles as the cancellation listener: a Cancel ack (or a
+	// 410 for a lease the coordinator already revoked) stops the solve,
+	// which then returns its incumbent within one expansion.
+	var cancelled atomic.Bool
+	reporterDone := make(chan struct{})
+	go func() {
+		defer close(reporterDone)
+		ticker := time.NewTicker(w.reportInterval())
+		defer ticker.Stop()
+		for {
+			select {
+			case <-jobCtx.Done():
+				return
+			case <-ticker.C:
+			}
+			exp, gen := progress.Snapshot()
+			var ack ReportResponse
+			err := w.post(jobCtx, "/v1/workers/jobs/"+lease.ID+"/report",
+				ReportRequest{WorkerID: workerID, Expanded: exp, Generated: gen}, &ack)
+			// 410: the lease is gone (cancelled or re-queued elsewhere).
+			// 404: the coordinator forgot this worker entirely — the job
+			// has been (or is about to be) re-leased under someone else,
+			// so finishing this solve is pure waste; stop it too.
+			if (err == nil && ack.Cancel) ||
+				statusCode(err) == http.StatusGone || statusCode(err) == http.StatusNotFound {
+				cancelled.Store(true)
+				cancelJob()
+				return
+			}
+		}
+	}()
+
+	var res *server.JobResult
+	var errMessage string
+	if len(lease.Engines) > 1 {
+		pf, err := w.pool.SolvePortfolio(jobCtx, g, sys, lease.Engines, cfg)
+		if err != nil {
+			errMessage = err.Error()
+		} else {
+			res = server.JobResultFromPortfolio(lease.ID, pf)
+		}
+	} else {
+		name := ""
+		if len(lease.Engines) == 1 {
+			name = lease.Engines[0]
+		}
+		resp := w.pool.Solve(jobCtx, solverpool.Request{Graph: g, System: sys, Engine: name, Config: cfg})
+		if resp.Err != nil {
+			errMessage = resp.Err.Error()
+		} else {
+			res = server.JobResultFromSolve(lease.ID, resp)
+		}
+	}
+	cancelJob()
+	<-reporterDone
+
+	exp, gen := progress.Snapshot()
+	switch {
+	case w.killed.Load():
+		// A crash reports nothing; the coordinator's failure detector
+		// takes it from here.
+	case cancelled.Load():
+		// The lease is gone coordinator-side; a final report would 410.
+	case ctx.Err() != nil:
+		// Draining: hand the job back for another worker to finish.
+		w.abandonJob(workerID, lease.ID, exp, gen)
+	default:
+		w.finishJob(workerID, lease.ID, exp, gen, res, errMessage)
+	}
+}
+
+// terminalReportTimeout bounds the final report of a job: it must outlive
+// the run context (the solve is already over, and the outcome should
+// reach the coordinator even mid-drain), but an unreachable coordinator
+// must not wedge the slot — give up after the bound and let the
+// coordinator's lease expiry re-queue the job.
+const terminalReportTimeout = 10 * time.Second
+
+// finishJob sends the terminal Done report. The coordinator may have
+// revoked the lease meanwhile (410) — then the outcome is simply dropped.
+func (w *Worker) finishJob(workerID, id string, exp, gen int64, res *server.JobResult, errMessage string) {
+	ctx, cancel := context.WithTimeout(context.Background(), terminalReportTimeout)
+	defer cancel()
+	err := w.post(ctx, "/v1/workers/jobs/"+id+"/report", ReportRequest{
+		WorkerID: workerID, Expanded: exp, Generated: gen,
+		Done: true, Result: res, Error: errMessage,
+	}, nil)
+	if err != nil && statusCode(err) != http.StatusGone {
+		w.logf("job %s: final report failed: %v", id, err)
+	}
+}
+
+// abandonJob hands a job back to the coordinator for re-leasing.
+func (w *Worker) abandonJob(workerID, id string, exp, gen int64) {
+	ctx, cancel := context.WithTimeout(context.Background(), terminalReportTimeout)
+	defer cancel()
+	err := w.post(ctx, "/v1/workers/jobs/"+id+"/report", ReportRequest{
+		WorkerID: workerID, Expanded: exp, Generated: gen, Abandon: true,
+	}, nil)
+	if err != nil && statusCode(err) != http.StatusGone {
+		w.logf("job %s: abandon failed: %v", id, err)
+	}
+}

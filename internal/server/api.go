@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/procgraph"
 	"repro/internal/schedule"
+	"repro/internal/solverpool"
 	"repro/internal/stg"
 	"repro/internal/taskgraph"
 )
@@ -58,8 +59,10 @@ type JobConfig struct {
 	NoPruning bool `json:"no_pruning,omitempty"`
 }
 
-// engineConfig translates the wire budget into the registry configuration.
-func (c JobConfig) engineConfig() engine.Config {
+// EngineConfig translates the wire budget into the registry configuration.
+// Cluster workers call it on the leased job's config, so the remote solve
+// runs under exactly the budget the submitter asked for.
+func (c JobConfig) EngineConfig() engine.Config {
 	cfg := engine.Config{
 		Epsilon:     c.Epsilon,
 		MaxExpanded: c.MaxExpanded,
@@ -95,8 +98,14 @@ type JobProgress struct {
 // /events stream. Length/Optimal appear once a terminal job has a
 // schedule (a cancelled job keeps its best incumbent).
 type JobStatus struct {
-	ID       string      `json:"id"`
-	State    string      `json:"state"` // queued | running | done | failed | cancelled
+	ID    string `json:"id"`
+	State string `json:"state"` // queued | running | done | failed | cancelled
+	// Seq numbers the /events snapshots of one job monotonically across
+	// every stream (it lives in the job store, not the connection, and
+	// bumps on every snapshot delivered anywhere), so a reconnecting
+	// watcher is guaranteed strictly larger values than anything it
+	// already saw; it is 0 outside /events.
+	Seq      int64       `json:"seq,omitempty"`
 	Engines  []string    `json:"engines"`
 	Created  string      `json:"created"` // RFC 3339
 	Started  string      `json:"started,omitempty"`
@@ -148,8 +157,9 @@ type JobResult struct {
 	Errs        map[string]string       `json:"errs,omitempty"`
 }
 
-// schedulePayload flattens a validated schedule into the wire form.
-func schedulePayload(s *schedule.Schedule) SchedulePayload {
+// NewSchedulePayload flattens a validated schedule into the wire form. The
+// daemon uses it for local solves; cluster workers use it to report theirs.
+func NewSchedulePayload(s *schedule.Schedule) SchedulePayload {
 	out := SchedulePayload{Length: s.Length, Placements: make([]PlacementPayload, len(s.Place))}
 	for n, p := range s.Place {
 		out.Placements[n] = PlacementPayload{
@@ -185,6 +195,10 @@ type EngineInfo struct {
 	Name        string `json:"name"`
 	Section     string `json:"section,omitempty"`
 	Description string `json:"description,omitempty"`
+	// ClusterWorkers counts the live remote workers advertising this
+	// engine — the cluster view of the registry. Absent without a cluster
+	// (the local registry always serves every listed engine).
+	ClusterWorkers int `json:"cluster_workers,omitempty"`
 }
 
 // Health is the body of GET /v1/healthz.
@@ -195,6 +209,25 @@ type Health struct {
 	Jobs        int    `json:"jobs"` // jobs currently retained in the store
 	ModelsBuilt int64  `json:"models_built"`
 	ModelHits   int64  `json:"model_hits"`
+	// ActiveJobs counts retained jobs that are queued or running, and
+	// Capacity the solve slots they compete for: the local pool plus every
+	// live cluster worker. These two are the backpressure inputs — see
+	// DESIGN.md §9.
+	ActiveJobs int `json:"active_jobs"`
+	Capacity   int `json:"capacity"`
+	// Cluster is the coordinator view; absent when the daemon runs
+	// without -cluster.
+	Cluster *ClusterHealth `json:"cluster,omitempty"`
+}
+
+// ClusterHealth is the coordinator's aggregate view inside /v1/healthz.
+type ClusterHealth struct {
+	Workers    int   `json:"workers"`    // live registered workers
+	Capacity   int   `json:"capacity"`   // sum of their solve slots
+	Leased     int   `json:"leased"`     // jobs currently leased out
+	Pending    int   `json:"pending"`    // jobs queued for a lease
+	Dispatched int64 `json:"dispatched"` // leases granted since start
+	Failovers  int64 `json:"failovers"`  // re-queues after a death/expiry/abandon
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -251,6 +284,61 @@ func decodeSystem(raw json.RawMessage, defaultProcs int) (*procgraph.System, err
 	default:
 		return procgraph.FromJSON(raw)
 	}
+}
+
+// JobResultFromSolve builds the wire result of a single-engine solve. It
+// returns nil when the response carries no schedule (an engine-contract
+// violation the caller records as a schedule-less terminal state rather
+// than panic on). Shared by the local run path and the cluster worker, so
+// a remote solve reports byte-identical payloads to a local one.
+func JobResultFromSolve(id string, resp solverpool.Response) *JobResult {
+	if resp.Result == nil || resp.Result.Schedule == nil {
+		return nil
+	}
+	return &JobResult{
+		ID:          id,
+		Engine:      resp.Engine,
+		Length:      resp.Result.Length,
+		Optimal:     resp.Result.Optimal,
+		BoundFactor: resp.Result.BoundFactor,
+		Schedule:    NewSchedulePayload(resp.Result.Schedule),
+		Stats:       resp.Result.Stats,
+	}
+}
+
+// JobResultFromPortfolio builds the wire result of a portfolio race,
+// summarizing the cancelled losers and outright failures. Nil when the
+// winner has no schedule.
+func JobResultFromPortfolio(id string, pf *solverpool.PortfolioResult) *JobResult {
+	if pf.Result == nil || pf.Result.Schedule == nil {
+		return nil
+	}
+	res := &JobResult{
+		ID:          id,
+		Engine:      pf.Winner,
+		Length:      pf.Result.Length,
+		Optimal:     pf.Result.Optimal,
+		BoundFactor: pf.Result.BoundFactor,
+		Schedule:    NewSchedulePayload(pf.Result.Schedule),
+		Stats:       pf.Result.Stats,
+	}
+	if len(pf.Losers) > 0 {
+		res.Losers = map[string]LoserPayload{}
+		for name, l := range pf.Losers {
+			lp := LoserPayload{Optimal: l.Optimal, Expanded: l.Stats.Expanded}
+			if l.Schedule != nil {
+				lp.Length = l.Length
+			}
+			res.Losers[name] = lp
+		}
+	}
+	if len(pf.Errs) > 0 {
+		res.Errs = map[string]string{}
+		for name, err := range pf.Errs {
+			res.Errs[name] = err.Error()
+		}
+	}
+	return res
 }
 
 // engineNames resolves the request's engine selection: the portfolio list

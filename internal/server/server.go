@@ -22,11 +22,15 @@
 //	GET    /v1/jobs/{id}/result finished schedule (JSON, or ?format=gantt)
 //	GET    /v1/jobs/{id}/events NDJSON status stream until terminal
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	GET    /v1/engines          the engine registry
-//	GET    /v1/healthz          liveness + pool counters
+//	GET    /v1/engines          the engine registry (+ cluster view)
+//	GET    /v1/healthz          liveness + pool counters (+ cluster view)
+//	       /v1/workers...       cluster protocol, mounted by EnableCluster
 //
 // cmd/icpp98d wraps this package as a daemon; `icpp98 client` is the
-// command-line client.
+// command-line client. EnableCluster attaches an internal/cluster
+// coordinator (via the Dispatcher/ClusterBackend interfaces defined here)
+// that leases queued jobs to remote icpp98worker processes and falls back
+// to the local pool when none are registered.
 package server
 
 import (
@@ -40,7 +44,9 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/procgraph"
 	"repro/internal/solverpool"
+	"repro/internal/taskgraph"
 )
 
 // Config sizes a Server. The zero value is usable: GOMAXPROCS workers, a
@@ -54,17 +60,76 @@ type Config struct {
 	TTL time.Duration
 	// StreamInterval is the /events snapshot cadence; <= 0 selects 250ms.
 	StreamInterval time.Duration
+	// BacklogPerSlot, when > 0, turns submissions away with 503 once the
+	// active (queued + running) job count reaches BacklogPerSlot times the
+	// aggregate solve capacity — the local pool's workers plus every live
+	// cluster worker's slots. The bound therefore scales out as workers
+	// join and contracts as they die. 0 keeps only the store-capacity
+	// backpressure of the non-clustered daemon.
+	BacklogPerSlot int
+}
+
+// DispatchJob is the server-side view of a job a Dispatcher may run on
+// remote capacity: the decoded instance, the submitter's wire budget, and
+// the two callbacks that feed the job's observable lifecycle (Started
+// fires markRunning when a worker picks the job up; Progress folds the
+// worker's reported absolute counters into the job's live progress).
+type DispatchJob struct {
+	ID       string
+	Graph    *taskgraph.Graph
+	System   *procgraph.System
+	Engines  []string
+	Config   JobConfig
+	Started  func()
+	Progress func(expanded, generated int64)
+}
+
+// Dispatcher is the cluster hook: internal/cluster's coordinator
+// implements it, and the server consults it before falling back to the
+// local pool. Defined here (not in internal/cluster) so the dependency
+// points downward: cluster imports server for the wire types, never the
+// reverse.
+type Dispatcher interface {
+	// Dispatch offers the job to remote capacity and blocks until the
+	// cluster resolves it. handled=false means the cluster did not (and
+	// will not) run this job — no live workers, every eligible worker
+	// already failed it, or capacity vanished mid-flight — and the caller
+	// must solve it on the local pool instead.
+	Dispatch(ctx context.Context, job DispatchJob) (res *JobResult, errMessage string, handled bool)
+	// Capacity is the live remote slot count, aggregated into the backlog
+	// backpressure check and /v1/healthz.
+	Capacity() int
+	// FreeSlots is the live count of remote slots not leased or spoken
+	// for — the placement hint: when the cluster is saturated and a local
+	// pool slot is idle, the server solves locally instead of queueing the
+	// job behind busy workers.
+	FreeSlots() int
+	// Health snapshots the coordinator for /v1/healthz.
+	Health() *ClusterHealth
+	// EngineWorkers counts live workers per advertised engine name for
+	// the /v1/engines cluster view.
+	EngineWorkers() map[string]int
+}
+
+// ClusterBackend is what EnableCluster mounts: a Dispatcher plus the
+// HTTP handler serving the /v1/workers endpoints (registration, leasing,
+// reporting, listing).
+type ClusterBackend interface {
+	Dispatcher
+	Handler() http.Handler
 }
 
 // Server is the solve daemon: an http.Handler plus the job runner behind
 // it. Construct with New, serve it, then Close to cancel every job and
 // wait for the workers to drain.
 type Server struct {
-	pool     *solverpool.Pool
-	store    *store
-	mux      *http.ServeMux
-	sem      chan struct{}
-	interval time.Duration
+	pool       *solverpool.Pool
+	store      *store
+	mux        *http.ServeMux
+	sem        chan struct{}
+	interval   time.Duration
+	backlog    int
+	dispatcher Dispatcher // nil without a cluster
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -89,6 +154,7 @@ func New(cfg Config) *Server {
 		store:    newStore(cfg.StoreCap, cfg.TTL),
 		sem:      make(chan struct{}, pool.Workers()),
 		interval: cfg.StreamInterval,
+		backlog:  cfg.BacklogPerSlot,
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
@@ -106,6 +172,27 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// EnableCluster attaches a cluster backend: queued jobs are offered to its
+// remote workers before the local pool, its capacity joins the backlog
+// backpressure check, and its /v1/workers endpoints are mounted on the
+// server's mux. Call before serving traffic — the dispatch field is read
+// without a lock on every job.
+func (s *Server) EnableCluster(b ClusterBackend) {
+	s.dispatcher = b
+	s.mux.Handle("/v1/workers", b.Handler())
+	s.mux.Handle("/v1/workers/", b.Handler())
+}
+
+// capacity is the aggregate solve-slot count: the local pool plus every
+// live cluster worker.
+func (s *Server) capacity() int {
+	n := s.pool.Workers()
+	if s.dispatcher != nil {
+		n += s.dispatcher.Capacity()
+	}
+	return n
+}
+
 // Close cancels every queued and running job and blocks until the job
 // goroutines have drained — the engines poll their budgets once per
 // expansion, so this returns promptly even mid-search.
@@ -116,7 +203,7 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
@@ -124,8 +211,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+func WriteError(w http.ResponseWriter, code int, format string, args ...any) {
+	WriteJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
 // handleSubmit decodes, validates, and enqueues a job. Everything wrong
@@ -135,7 +222,7 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-s.baseCtx.Done():
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		WriteError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	default:
 	}
@@ -146,18 +233,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		WriteError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	g, sys, err := decodeInstance(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad instance: %v", err)
+		WriteError(w, http.StatusBadRequest, "bad instance: %v", err)
 		return
 	}
 	names, err := engineNames(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	// The backlog check is the cluster-aware backpressure: the cap scales
+	// with the live aggregate capacity, so a fleet losing workers starts
+	// refusing load before the store fills with jobs nobody can run.
+	if s.backlog > 0 {
+		if active, cap := s.store.active(), s.capacity(); active >= s.backlog*cap {
+			WriteError(w, http.StatusServiceUnavailable,
+				"backlog full: %d active jobs ≥ %d per slot × %d slots", active, s.backlog, cap)
+			return
+		}
 	}
 
 	jobCtx, cancel := context.WithCancel(s.baseCtx)
@@ -165,17 +262,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		graph:    g,
 		system:   sys,
 		engines:  names,
+		config:   req.Config,
 		cancel:   cancel,
 		progress: &solverpool.Progress{},
 	}
 	id, err := s.store.add(j)
 	if err != nil {
 		cancel()
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		WriteError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 
-	cfg := req.Config.engineConfig()
+	cfg := req.Config.EngineConfig()
 	j.progress.Attach(&cfg)
 
 	// Admission and Close are serialized so the WaitGroup never grows
@@ -187,14 +285,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		cancel()
 		// The submitter is told 503, so the job must leave no record.
 		s.store.remove(id)
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		WriteError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
 	s.wg.Add(1)
 	s.closeMu.Unlock()
 	go s.run(jobCtx, j, cfg)
 
-	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, State: StateQueued})
+	WriteJSON(w, http.StatusAccepted, SubmitResponse{ID: id, State: StateQueued})
 }
 
 // finishJob records a job's outcome. An interrupted context means job
@@ -209,18 +307,57 @@ func (s *Server) finishJob(ctx context.Context, j *job, res *JobResult, errMessa
 	s.store.finish(j, res, errMessage)
 }
 
-// run is the job's lifecycle goroutine: wait for a worker slot, solve,
-// record the outcome. Cancellation while queued never touches the pool.
+// run is the job's lifecycle goroutine: offer the job to the cluster when
+// one is attached, else wait for a local worker slot and solve on the
+// pool. Placement prefers a free remote slot (that is what the fleet is
+// for), but a saturated cluster never starves an idle local slot.
+// Cancellation while queued never touches the pool, and a cluster that
+// declines (or gives up on) the job falls through to the local path.
 func (s *Server) run(ctx context.Context, j *job, cfg engine.Config) {
 	defer s.wg.Done()
 	defer j.cancel()
+	if d := s.dispatcher; d != nil {
+		if d.FreeSlots() <= 0 {
+			// Every remote slot is busy (or absent) at admission time: an
+			// idle local slot takes the job now rather than queueing it
+			// behind the fleet. The choice is made once — a job placed on
+			// the cluster stays there even if a local slot frees up later
+			// (re-placement would need lease-withdrawal semantics that
+			// risk misrecording a running job as cancelled).
+			select {
+			case s.sem <- struct{}{}:
+				s.runLocal(ctx, j, cfg)
+				return
+			default:
+			}
+		}
+		res, errMessage, handled := d.Dispatch(ctx, DispatchJob{
+			ID:       j.id,
+			Graph:    j.graph,
+			System:   j.system,
+			Engines:  j.engines,
+			Config:   j.config,
+			Started:  func() { s.store.markRunning(j) },
+			Progress: j.progress.Record,
+		})
+		if handled {
+			s.finishJob(ctx, j, res, errMessage)
+			return
+		}
+	}
 	select {
 	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
 	case <-ctx.Done():
 		s.finishJob(ctx, j, nil, "")
 		return
 	}
+	s.runLocal(ctx, j, cfg)
+}
+
+// runLocal solves the job on the local pool; the caller has already
+// acquired a semaphore slot, which is released here.
+func (s *Server) runLocal(ctx context.Context, j *job, cfg engine.Config) {
+	defer func() { <-s.sem }()
 	if !s.store.markRunning(j) {
 		s.finishJob(ctx, j, nil, "")
 		return
@@ -232,36 +369,7 @@ func (s *Server) run(ctx context.Context, j *job, cfg engine.Config) {
 			s.finishJob(ctx, j, nil, err.Error())
 			return
 		}
-		if pf.Result == nil || pf.Result.Schedule == nil {
-			s.finishJob(ctx, j, nil, "")
-			return
-		}
-		res := &JobResult{
-			ID:          j.id,
-			Engine:      pf.Winner,
-			Length:      pf.Result.Length,
-			Optimal:     pf.Result.Optimal,
-			BoundFactor: pf.Result.BoundFactor,
-			Schedule:    schedulePayload(pf.Result.Schedule),
-			Stats:       pf.Result.Stats,
-		}
-		if len(pf.Losers) > 0 {
-			res.Losers = map[string]LoserPayload{}
-			for name, l := range pf.Losers {
-				lp := LoserPayload{Optimal: l.Optimal, Expanded: l.Stats.Expanded}
-				if l.Schedule != nil {
-					lp.Length = l.Length
-				}
-				res.Losers[name] = lp
-			}
-		}
-		if len(pf.Errs) > 0 {
-			res.Errs = map[string]string{}
-			for name, err := range pf.Errs {
-				res.Errs[name] = err.Error()
-			}
-		}
-		s.finishJob(ctx, j, res, "")
+		s.finishJob(ctx, j, JobResultFromPortfolio(j.id, pf), "")
 		return
 	}
 
@@ -272,22 +380,11 @@ func (s *Server) run(ctx context.Context, j *job, cfg engine.Config) {
 		s.finishJob(ctx, j, nil, resp.Err.Error())
 		return
 	}
-	if resp.Result.Schedule == nil {
-		// Engines contract a non-nil schedule, but a daemon must not be
-		// one registry bug away from a goroutine panic: record a
-		// schedule-less terminal state instead.
-		s.finishJob(ctx, j, nil, "")
-		return
-	}
-	s.finishJob(ctx, j, &JobResult{
-		ID:          j.id,
-		Engine:      resp.Engine,
-		Length:      resp.Result.Length,
-		Optimal:     resp.Result.Optimal,
-		BoundFactor: resp.Result.BoundFactor,
-		Schedule:    schedulePayload(resp.Result.Schedule),
-		Stats:       resp.Result.Stats,
-	}, "")
+	// Engines contract a non-nil schedule, but a daemon must not be one
+	// registry bug away from a goroutine panic: JobResultFromSolve returns
+	// nil for a schedule-less response and the job records a schedule-less
+	// terminal state instead.
+	s.finishJob(ctx, j, JobResultFromSolve(j.id, resp), "")
 }
 
 // lookup resolves the {id} path segment, writing the 404 itself when the
@@ -296,7 +393,7 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
 	id := r.PathValue("id")
 	j := s.store.get(id)
 	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		WriteError(w, http.StatusNotFound, "unknown job %q", id)
 	}
 	return j
 }
@@ -306,7 +403,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
-	writeJSON(w, http.StatusOK, s.store.status(j))
+	WriteJSON(w, http.StatusOK, s.store.status(j))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -314,7 +411,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	for _, j := range s.store.list() {
 		list.Jobs = append(list.Jobs, s.store.status(j))
 	}
-	writeJSON(w, http.StatusOK, list)
+	WriteJSON(w, http.StatusOK, list)
 }
 
 // handleResult serves the finished schedule. A job that is still queued or
@@ -332,13 +429,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		if st.Error != "" {
 			msg += ": " + st.Error
 		}
-		writeError(w, http.StatusConflict, "%s", msg)
+		WriteError(w, http.StatusConflict, "%s", msg)
 		return
 	}
 	if r.URL.Query().Get("format") == "gantt" {
 		sched, err := res.Schedule.ToSchedule(j.graph, j.system)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			WriteError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -348,12 +445,17 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, sched.Gantt(8))
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	WriteJSON(w, http.StatusOK, res)
 }
 
 // handleEvents streams NDJSON JobStatus snapshots until the job reaches a
 // terminal state (the final snapshot is always sent), the client goes
-// away, or the server shuts down.
+// away, or the server shuts down. Every snapshot carries a per-job
+// sequence number drawn from the job store; a watcher that lost its
+// connection reconnects with the last seen value in Last-Event-ID (or
+// ?after=) and resumes with strictly larger ones — snapshots are
+// cumulative, so nothing needs replaying, and the stream still always
+// ends with a terminal snapshot.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(w, r)
 	if j == nil {
@@ -363,6 +465,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if ms, err := strconv.Atoi(r.URL.Query().Get("interval_ms")); err == nil && ms > 0 {
 		interval = time.Duration(ms) * time.Millisecond
 	}
+	// A reconnecting client may send its last seen seq as Last-Event-ID
+	// (or ?after=); no server-side action is needed — the counter lives on
+	// the job and bumps on every emission to any stream, so whatever this
+	// connection emits is already strictly newer than anything previously
+	// delivered. Crucially, client input never mutates the shared counter:
+	// a bogus offset cannot poison other watchers of the same job.
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	flusher, _ := w.(http.Flusher)
@@ -370,7 +478,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
-		st := s.store.status(j)
+		st := s.store.nextEvent(j)
 		if enc.Encode(st) != nil {
 			return
 		}
@@ -402,16 +510,23 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.store.requestCancel(j)
-	writeJSON(w, http.StatusOK, s.store.status(j))
+	WriteJSON(w, http.StatusOK, s.store.status(j))
 }
 
 func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	var byEngine map[string]int
+	if s.dispatcher != nil {
+		byEngine = s.dispatcher.EngineWorkers()
+	}
 	out := []EngineInfo{}
 	for _, e := range engine.All() {
 		section, desc := engine.Describe(e)
-		out = append(out, EngineInfo{Name: e.Name(), Section: section, Description: desc})
+		out = append(out, EngineInfo{
+			Name: e.Name(), Section: section, Description: desc,
+			ClusterWorkers: byEngine[e.Name()],
+		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -420,12 +535,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "shutting-down"
 	}
 	ps := s.pool.Stats()
-	writeJSON(w, http.StatusOK, Health{
+	h := Health{
 		Status:      status,
 		Workers:     s.pool.Workers(),
 		InFlight:    s.pool.InFlight(),
 		Jobs:        s.store.count(),
 		ModelsBuilt: ps.ModelsBuilt,
 		ModelHits:   ps.ModelHits,
-	})
+		ActiveJobs:  s.store.active(),
+		Capacity:    s.capacity(),
+	}
+	if s.dispatcher != nil {
+		h.Cluster = s.dispatcher.Health()
+	}
+	WriteJSON(w, http.StatusOK, h)
 }

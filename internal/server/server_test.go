@@ -11,6 +11,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -724,6 +725,188 @@ func TestBudgetCutBnbJob(t *testing.T) {
 	}
 	if err := sched.Validate(); err != nil {
 		t.Fatalf("fallback schedule invalid: %v", err)
+	}
+}
+
+// fakeDispatcher stubs the cluster hook: it either claims every job with
+// a canned outcome or declines everything (exercising the local
+// fallback), and reports a fixed capacity for the aggregate views.
+type fakeDispatcher struct {
+	handled    bool
+	res        *JobResult
+	errMessage string
+	capacity   int
+}
+
+func (d *fakeDispatcher) Dispatch(ctx context.Context, job DispatchJob) (*JobResult, string, bool) {
+	if !d.handled {
+		return nil, "", false
+	}
+	job.Started()
+	job.Progress(42, 99)
+	res := d.res
+	if res != nil {
+		cp := *res
+		cp.ID = job.ID
+		res = &cp
+	}
+	return res, d.errMessage, true
+}
+
+func (d *fakeDispatcher) Capacity() int  { return d.capacity }
+func (d *fakeDispatcher) FreeSlots() int { return d.capacity }
+func (d *fakeDispatcher) Health() *ClusterHealth {
+	return &ClusterHealth{Workers: 1, Capacity: d.capacity}
+}
+func (d *fakeDispatcher) EngineWorkers() map[string]int { return map[string]int{"astar": 1} }
+func (d *fakeDispatcher) Handler() http.Handler         { return http.NotFoundHandler() }
+
+// TestDispatcherHandlesJob wires a fake cluster backend that claims every
+// job: the job must finish with the dispatcher's result, its progress must
+// reflect the reported counters, and /healthz and /engines must carry the
+// cluster views and aggregate capacity.
+func TestDispatcherHandlesJob(t *testing.T) {
+	srv, base := newTestServer(t, Config{Workers: 2})
+	srv.EnableCluster(&fakeDispatcher{
+		handled:  true,
+		capacity: 5,
+		res: &JobResult{
+			Engine: "astar", Length: 14, Optimal: true, BoundFactor: 1,
+			Schedule: SchedulePayload{Length: 14},
+		},
+	})
+	sub := postJob(t, base, SubmitRequest{GraphText: paperText(t), System: json.RawMessage(`"ring:3"`)})
+	st := waitTerminal(t, base, sub.ID)
+	if st.State != StateDone || st.Length != 14 || !st.Optimal {
+		t.Fatalf("dispatched job = %+v", st)
+	}
+	if st.Progress.Expanded != 42 || st.Progress.Generated != 99 {
+		t.Fatalf("progress = %+v, want the dispatcher-reported 42/99", st.Progress)
+	}
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Capacity != 2+5 || h.Cluster == nil || h.Cluster.Capacity != 5 {
+		t.Fatalf("health = %+v, want capacity 7 with a cluster view", h)
+	}
+
+	r2, err := http.Get(base + "/v1/engines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var engines []EngineInfo
+	if err := json.NewDecoder(r2.Body).Decode(&engines); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range engines {
+		if e.Name == "astar" && e.ClusterWorkers != 1 {
+			t.Fatalf("astar cluster_workers = %d, want 1", e.ClusterWorkers)
+		}
+	}
+}
+
+// TestDispatcherFallbackRunsLocally wires a dispatcher that declines every
+// job: the local pool must solve it exactly as without a cluster.
+func TestDispatcherFallbackRunsLocally(t *testing.T) {
+	srv, base := newTestServer(t, Config{})
+	srv.EnableCluster(&fakeDispatcher{handled: false})
+	sub := postJob(t, base, SubmitRequest{GraphText: paperText(t), System: json.RawMessage(`"ring:3"`)})
+	st := waitTerminal(t, base, sub.ID)
+	if st.State != StateDone || st.Length != 14 || !st.Optimal {
+		t.Fatalf("fallback job = %+v", st)
+	}
+}
+
+// TestDispatcherFailedJob: a dispatcher error message lands the job in
+// the failed state with that reason.
+func TestDispatcherFailedJob(t *testing.T) {
+	srv, base := newTestServer(t, Config{})
+	srv.EnableCluster(&fakeDispatcher{handled: true, capacity: 1, errMessage: "cluster: job gave out after 3 attempts: boom"})
+	sub := postJob(t, base, SubmitRequest{GraphText: paperText(t), System: json.RawMessage(`"ring:3"`)})
+	st := waitTerminal(t, base, sub.ID)
+	if st.State != StateFailed || !strings.Contains(st.Error, "3 attempts") {
+		t.Fatalf("failed dispatch = %+v", st)
+	}
+}
+
+// readEvents reads NDJSON statuses from an open /events body until a
+// terminal line, maxLines, or stream end; it returns the statuses seen.
+func readEvents(t *testing.T, body io.Reader, maxLines int) []JobStatus {
+	t.Helper()
+	var out []JobStatus
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		var st JobStatus
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		out = append(out, st)
+		if terminal(st.State) || len(out) >= maxLines {
+			break
+		}
+	}
+	return out
+}
+
+// TestEventsResumeAfterDrop drives the Last-Event-ID contract: a watcher
+// that drops mid-stream reconnects with its last seen sequence number and
+// receives strictly larger ones (the counter lives in the job store), with
+// the resumed stream still ending in a terminal snapshot.
+func TestEventsResumeAfterDrop(t *testing.T) {
+	_, base := newTestServer(t, Config{StreamInterval: 5 * time.Millisecond})
+	sub := postJob(t, base, SubmitRequest{
+		GraphText: paperText(t),
+		System:    json.RawMessage(`"ring:3"`),
+		Engine:    "test-block",
+	})
+	waitState(t, base, sub.ID, StateRunning)
+	<-testBlocker.running
+
+	// First connection: take two snapshots, then drop the stream.
+	resp, err := http.Get(base + "/v1/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := readEvents(t, resp.Body, 2)
+	resp.Body.Close()
+	if len(first) != 2 || first[1].Seq <= first[0].Seq || first[0].Seq == 0 {
+		t.Fatalf("first stream seqs = %+v", first)
+	}
+	last := first[len(first)-1].Seq
+
+	// Reconnect past the drop; cancel the job so the stream terminates.
+	req, _ := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+sub.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", fmt.Sprint(last))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	del, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+sub.ID, nil)
+	if r, err := http.DefaultClient.Do(del); err == nil {
+		r.Body.Close()
+	}
+	resumed := readEvents(t, resp2.Body, 1000)
+	if len(resumed) == 0 {
+		t.Fatal("resumed stream carried no snapshots")
+	}
+	prev := last
+	for _, st := range resumed {
+		if st.Seq <= prev {
+			t.Fatalf("non-monotonic seq across reconnect: %d after %d", st.Seq, prev)
+		}
+		prev = st.Seq
+	}
+	if final := resumed[len(resumed)-1]; !terminal(final.State) {
+		t.Fatalf("resumed stream ended in state %q", final.State)
 	}
 }
 

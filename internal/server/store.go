@@ -30,10 +30,12 @@ type job struct {
 	graph   *taskgraph.Graph
 	system  *procgraph.System
 	engines []string
+	config  JobConfig // the submitter's wire budget, re-serialized for cluster leases
 
 	cancel   context.CancelFunc
 	progress *solverpool.Progress
 	done     chan struct{} // closed when the job reaches a terminal state
+	eventSeq int64         // /events snapshots emitted so far (across all streams)
 
 	state      string
 	created    time.Time
@@ -123,6 +125,20 @@ func (st *store) count() int {
 	return len(st.jobs)
 }
 
+// active counts the queued and running jobs — the population the backlog
+// backpressure check compares against the aggregate solve capacity.
+func (st *store) active() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, j := range st.jobs {
+		if !terminal(j.state) {
+			n++
+		}
+	}
+	return n
+}
+
 // sweepLocked drops terminal jobs whose TTL has lapsed.
 func (st *store) sweepLocked() {
 	if st.ttl <= 0 {
@@ -160,18 +176,24 @@ func terminal(state string) bool {
 	return state == StateDone || state == StateFailed || state == StateCancelled
 }
 
-// markRunning transitions queued → running. It reports false when the job
-// was cancelled while still queued, in which case the caller must not run
-// the solve.
+// markRunning transitions queued → running, idempotently: a job that is
+// already running stays running and still reports true (the local fallback
+// path may re-mark a job a remote worker started before dying). It reports
+// false only for a terminal job — cancelled while still queued — in which
+// case the caller must not run the solve.
 func (st *store) markRunning(j *job) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if j.state != StateQueued {
+	switch j.state {
+	case StateQueued:
+		j.state = StateRunning
+		j.started = st.now()
+		return true
+	case StateRunning:
+		return true
+	default:
 		return false
 	}
-	j.state = StateRunning
-	j.started = st.now()
-	return true
 }
 
 // finish moves a job to its terminal state and wakes every waiter. The
@@ -255,6 +277,20 @@ func (st *store) status(j *job) JobStatus {
 		out.Length = j.result.Length
 		out.Optimal = j.result.Optimal
 	}
+	return out
+}
+
+// nextEvent snapshots a job for the /events stream, stamping it with the
+// job's next event sequence number. The counter lives on the job, not the
+// connection, so a watcher that reconnects with Last-Event-ID always sees
+// strictly larger values than it already printed.
+func (st *store) nextEvent(j *job) JobStatus {
+	st.mu.Lock()
+	j.eventSeq++
+	seq := j.eventSeq
+	st.mu.Unlock()
+	out := st.status(j)
+	out.Seq = seq
 	return out
 }
 

@@ -36,6 +36,16 @@ func (p *Progress) Snapshot() (expanded, generated int64) {
 	return p.expanded.Load(), p.generated.Load()
 }
 
+// Record overwrites the counters with externally reported absolute values —
+// the remote path: a cluster worker runs the search on its own Progress and
+// periodically reports the totals, which the coordinator folds into the
+// job's counter here. Safe alongside concurrent Snapshot calls; the caller
+// must ensure a single reporter per Progress (one lease at a time).
+func (p *Progress) Record(expanded, generated int64) {
+	p.expanded.Store(expanded)
+	p.generated.Store(generated)
+}
+
 // Attach wires the counter into an engine configuration, covering both the
 // serial tracer hook and the parallel engine's per-PPE variant. It refuses
 // to displace a tracer the caller already installed.
