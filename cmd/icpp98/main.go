@@ -10,6 +10,7 @@
 //	icpp98 schedule -engine dfbb g.tg               # depth-first B&B (low memory)
 //	icpp98 schedule -engine bnb g.tg                # Chen & Yu baseline
 //	icpp98 schedule -engine astar,dfbb,bnb g.tg     # portfolio race of engines
+//	icpp98 schedule -hplus -procs complete:8 big.stg # large graphs (v > 64): tighter heuristic
 //	icpp98 schedule -algo list g.tg                 # list-scheduling heuristic
 //	icpp98 example                                  # the paper's Figure 1 demo
 //	icpp98 tree -ppes 2 g.tg                        # Figure 3/5 search tree
@@ -199,6 +200,7 @@ func cmdSchedule(args []string) {
 	budget := fs.Int64("budget", 0, "expansion budget (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = none)")
 	noPrune := fs.Bool("no-pruning", false, "disable the §3.2 prunings")
+	hplus := fs.Bool("hplus", false, "use the strengthened admissible heuristic (recommended for v > 64)")
 	gantt := fs.Bool("gantt", true, "print the Gantt chart")
 	fs.Parse(args)
 	g := loadGraph(fs.Args())
@@ -213,6 +215,9 @@ func cmdSchedule(args []string) {
 		MaxExpanded: *budget,
 		Timeout:     *timeout,
 		PPEs:        *ppesN,
+	}
+	if *hplus {
+		cfg.HFunc = core.HPlus
 	}
 
 	// Resolve what to run: -engine wins; -algo keeps the heuristics and

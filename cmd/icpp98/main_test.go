@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stg"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	defer func() {
+		os.Stdout = old
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// TestScheduleCLILargeSTG is the new-size-regime acceptance at the CLI: a
+// v = 128 layered STG instance (beyond the old 64-task mask) scheduled with
+// `icpp98 schedule -engine astar -hplus -procs complete:8` reaches proven
+// optimality.
+func TestScheduleCLILargeSTG(t *testing.T) {
+	g, err := gen.Layered(gen.LayeredConfig{Layers: 32, Width: 4, Seed: 42}) // v = 128
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := stg.Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "large.stg")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() {
+		cmdSchedule([]string{"-engine", "astar", "-hplus", "-procs", "complete:8", "-gantt=false", path})
+	})
+	if !strings.Contains(out, "optimal=true") {
+		t.Fatalf("CLI did not prove optimality on the v=128 instance:\n%s", out)
+	}
+	if !strings.Contains(out, "algorithm=astar") {
+		t.Fatalf("unexpected CLI header:\n%s", out)
+	}
+}

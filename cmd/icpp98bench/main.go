@@ -8,6 +8,7 @@
 //	icpp98bench -experiment distribution      # parallel placement-policy ablation
 //	icpp98bench -experiment deviation         # list heuristics vs proven optima
 //	icpp98bench -experiment engines           # every registry engine head-to-head
+//	icpp98bench -experiment large             # v > 64: Aε*/portfolio at 80/128/256
 //	icpp98bench -experiment all               # everything
 //
 // The default configuration trims the sweep to laptop-scale sizes; -full
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | ablation | distribution | deviation | engines | all")
+		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | ablation | distribution | deviation | engines | large | all")
 		sizes      = flag.String("sizes", "", "comma-separated graph sizes (default 10,12,14,16)")
 		ccrs       = flag.String("ccrs", "", "comma-separated CCRs (default 0.1,1,10)")
 		ppes       = flag.String("ppes", "", "comma-separated PPE counts for fig6 (default 2,4,8,16)")
@@ -105,6 +106,8 @@ func main() {
 			res = bench.RunDeviation(cfg)
 		case "engines":
 			res = bench.RunEngines(cfg)
+		case "large":
+			res = bench.RunLarge(cfg)
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
@@ -130,7 +133,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "ablation", "distribution", "deviation", "engines"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "ablation", "distribution", "deviation", "engines", "large"} {
 			run(name)
 		}
 		return

@@ -53,7 +53,7 @@ type Result struct {
 type state struct {
 	parent *state
 	sig    uint64
-	mask   uint64
+	mask   core.Mask
 	g      int32 // partial schedule length
 	f      int32 // underestimated completion cost
 	node   int32
@@ -179,12 +179,12 @@ func (e *engine) expand(s *state, goalBest *state, emit func(*state)) {
 		e.estSet[i] = false
 	}
 	for n := int32(0); int(n) < e.v; n++ {
-		if s.mask&(1<<uint(n)) != 0 {
+		if s.mask.Has(n) {
 			continue
 		}
 		ready := true
 		for _, a := range e.g.Pred(n) {
-			if s.mask&(1<<uint(a.Node)) == 0 {
+			if !s.mask.Has(a.Node) {
 				ready = false
 				break
 			}
@@ -220,7 +220,7 @@ func (e *engine) expand(s *state, goalBest *state, emit func(*state)) {
 			child := &state{
 				parent: s,
 				sig:    s.sig ^ sigMix(n, pe, st),
-				mask:   s.mask | 1<<uint(n),
+				mask:   s.mask.With(n),
 				g:      g,
 				f:      f,
 				node:   n,

@@ -24,6 +24,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/server"
+	"repro/internal/stg"
 )
 
 // gateEngine blocks its first blockCalls solves until their context is
@@ -641,4 +642,65 @@ func Example_quickstart() {
 	cancel()
 	<-done
 	// Output: length: 5 optimal: true
+}
+
+// TestClusterLargeInstanceMatchesLocal runs the new size regime through the
+// worker fleet: a v = 80 layered STG job (beyond the old single-word mask)
+// solved remotely must land done, proven optimal, and byte-identical to the
+// same job solved by a plain local daemon.
+func TestClusterLargeInstanceMatchesLocal(t *testing.T) {
+	coord, clusterURL := newCluster(t, server.Config{Workers: 1}, testTimings())
+	startWorker(t, coord, clusterURL, "wl", 1)
+
+	localSrv := server.New(server.Config{Workers: 1})
+	localTS := httptest.NewServer(localSrv)
+	t.Cleanup(func() {
+		localTS.Close()
+		localSrv.Close()
+	})
+
+	g, err := gen.Layered(gen.LayeredConfig{Layers: 20, Width: 4, Seed: 42}) // v = 80
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stgBuf bytes.Buffer
+	if err := stg.Write(&stgBuf, g); err != nil {
+		t.Fatal(err)
+	}
+	req := server.SubmitRequest{
+		GraphSTG: stgBuf.String(),
+		System:   json.RawMessage(`"complete:8"`),
+		Engine:   "astar",
+		Config:   server.JobConfig{HPlus: true},
+	}
+	clusterID := postJob(t, clusterURL, req)
+	localID := postJob(t, localTS.URL, req)
+
+	cst := waitTerminal(t, clusterURL, clusterID)
+	lst := waitTerminal(t, localTS.URL, localID)
+	if cst.State != server.StateDone || lst.State != server.StateDone {
+		t.Fatalf("cluster=%s (%s) local=%s (%s)", cst.State, cst.Error, lst.State, lst.Error)
+	}
+	cres := jobResult(t, clusterURL, clusterID)
+	lres := jobResult(t, localTS.URL, localID)
+	if !cres.Optimal || cres.BoundFactor != 1 {
+		t.Fatalf("remote v=80 solve not proven optimal: optimal=%v bound=%g", cres.Optimal, cres.BoundFactor)
+	}
+	if len(cres.Schedule.Placements) != 80 {
+		t.Fatalf("remote schedule has %d placements, want 80", len(cres.Schedule.Placements))
+	}
+	cb, err := json.Marshal(cres.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := json.Marshal(lres.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cb, lb) {
+		t.Errorf("v=80 cluster schedule differs from local:\n%s\nvs\n%s", cb, lb)
+	}
+	if cres.Length != lres.Length || cres.Optimal != lres.Optimal {
+		t.Errorf("result headers differ: %+v vs %+v", cres, lres)
+	}
 }

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/procgraph"
+)
+
+// BenchmarkSerialAStarSolve measures the whole serial A* loop — model
+// build excluded, OPEN/visited/arena included — on a fixed §4.1 instance.
+// allocs/op here is the number DESIGN.md's state-memory section records:
+// the arena + scratch refactor must keep it at least 2× below the
+// per-child-new(State) baseline.
+func BenchmarkSerialAStarSolve(b *testing.B) {
+	g := gen.MustRandom(gen.RandomConfig{V: 14, CCR: 1.0, Seed: 5})
+	sys := procgraph.Complete(4)
+	m, err := NewModel(g, sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveModel(m, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpandSteadyState measures one Expand call in the
+// duplicate-saturated steady state: every child the expander generates is
+// already in the visited table, is rejected, and its arena slot is
+// recycled. A 0 allocs/op result proves the expansion hot path — child
+// construction, isomorphism/equivalence filtering, duplicate detection —
+// performs no heap allocation at all.
+func BenchmarkExpandSteadyState(b *testing.B) {
+	g := gen.MustRandom(gen.RandomConfig{V: 24, CCR: 1.0, Seed: 7})
+	m, err := NewModel(g, procgraph.Complete(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stats Stats
+	exp := m.NewExpander(Options{}, &stats)
+	visited := NewVisited()
+	var pool []*State
+	collect := func(c *State) { pool = append(pool, c) }
+	exp.Expand(Root(), visited, collect)
+	for i := 0; i < len(pool) && len(pool) < 256; i++ {
+		exp.Expand(pool[i], visited, collect)
+	}
+	if len(pool) == 0 {
+		b.Fatal("no states to expand")
+	}
+	discard := func(*State) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Expand(pool[i%len(pool)], visited, discard)
+	}
+}

@@ -121,8 +121,10 @@ func (s *Stats) Add(other *Stats) {
 
 // Expander generates the children of a state: the expansion operator of
 // §3.1 (every ready node onto every PE) filtered by the §3.2 prunings. One
-// Expander per worker; it owns reusable scratch arrays so expansion does not
-// allocate beyond the child states themselves.
+// Expander per worker; it owns reusable scratch arrays and a state Arena, so
+// expansion performs no heap allocation at all on the hot path — child
+// states come from the arena's slabs, and every filter (isomorphism class
+// dedup, equivalence classes, the hPlus scan) runs on preallocated scratch.
 type Expander struct {
 	M       *Model
 	Disable Disable
@@ -140,16 +142,19 @@ type Expander struct {
 
 	Stats *Stats
 
+	arena    *Arena
 	procOf   []int32 // scratch: per node, assigned PE or -1
-	startOf  []int32
 	finishOf []int32
+	sched    []int32 // scratch: the scheduled nodes of the loaded state
 	rt       []int32 // scratch: per PE ready time (Definition 1)
 	cnt      []int32 // scratch: per PE number of assigned nodes
 	eqSeen   []bool  // scratch: equivalence classes already branched
+	isoSeen  []bool  // scratch: interchangeability classes with an empty representative
 	procOK   []bool  // scratch: PEs to consider after isomorphism filtering
 }
 
-// NewExpander returns an expander for the model with its own scratch space.
+// NewExpander returns an expander for the model with its own scratch space
+// and state arena.
 func (m *Model) NewExpander(opt Options, stats *Stats) *Expander {
 	return &Expander{
 		M:        m,
@@ -157,15 +162,21 @@ func (m *Model) NewExpander(opt Options, stats *Stats) *Expander {
 		HFunc:    opt.HFunc,
 		Tracer:   opt.Tracer,
 		Stats:    stats,
+		arena:    NewArena(),
 		procOf:   make([]int32, m.V),
-		startOf:  make([]int32, m.V),
 		finishOf: make([]int32, m.V),
+		sched:    make([]int32, 0, m.V),
 		rt:       make([]int32, m.P),
 		cnt:      make([]int32, m.P),
 		eqSeen:   make([]bool, m.V),
+		isoSeen:  make([]bool, m.P),
 		procOK:   make([]bool, m.P),
 	}
 }
+
+// Arena returns the expander's state arena. The depth-first engines use its
+// Mark/Release to rewind finished DFS frames.
+func (e *Expander) Arena() *Arena { return e.arena }
 
 // load materializes s's partial schedule into the scratch arrays.
 func (e *Expander) load(s *State) {
@@ -176,10 +187,11 @@ func (e *Expander) load(s *State) {
 		e.rt[i] = 0
 		e.cnt[i] = 0
 	}
+	e.sched = e.sched[:0]
 	for cur := s; cur != nil && cur.node >= 0; cur = cur.parent {
 		e.procOf[cur.node] = cur.proc
-		e.startOf[cur.node] = cur.start
 		e.finishOf[cur.node] = cur.finish
+		e.sched = append(e.sched, cur.node)
 		e.cnt[cur.proc]++
 		if cur.finish > e.rt[cur.proc] {
 			e.rt[cur.proc] = cur.finish
@@ -206,16 +218,18 @@ func (e *Expander) Expand(s *State, visited *Visited, emit func(*State)) int {
 		e.procOK[pe] = true
 	}
 	if e.Disable&DisableIsomorphism == 0 {
-		seen := make(map[int32]bool, 4)
+		for pe := 0; pe < m.P; pe++ {
+			e.isoSeen[pe] = false
+		}
 		for pe := 0; pe < m.P; pe++ {
 			if e.cnt[pe] != 0 {
 				continue
 			}
 			rep := m.procRep[pe]
-			if seen[rep] {
+			if e.isoSeen[rep] {
 				e.procOK[pe] = false
 			} else {
-				seen[rep] = true
+				e.isoSeen[rep] = true
 			}
 		}
 	}
@@ -236,12 +250,12 @@ func (e *Expander) Expand(s *State, visited *Visited, emit func(*State)) int {
 		} else {
 			n = int32(i)
 		}
-		if s.mask&(1<<uint(n)) != 0 {
+		if s.mask.Has(n) {
 			continue
 		}
 		ready := true
 		for _, a := range m.G.Pred(n) {
-			if s.mask&(1<<uint(a.Node)) == 0 {
+			if !s.mask.Has(a.Node) {
 				ready = false
 				break
 			}
@@ -321,10 +335,11 @@ func (e *Expander) expandNode(s *State, n int32, visited *Visited, emit func(*St
 			}
 		}
 
-		child := &State{
+		child := e.arena.New()
+		*child = State{
 			parent: s,
 			sig:    s.sig ^ sigMix(n, pe, st),
-			mask:   s.mask | 1<<uint(n),
+			mask:   s.mask.With(n),
 			g:      g,
 			h:      h,
 			f:      f,
@@ -341,6 +356,10 @@ func (e *Expander) expandNode(s *State, n int32, visited *Visited, emit func(*St
 			if e.Stats != nil {
 				e.Stats.Duplicates++
 			}
+			// The duplicate is dead on arrival: hand its slot straight back
+			// to the arena instead of letting rejected children pile up in
+			// the slabs.
+			e.arena.Recycle(child)
 			continue
 		}
 		if e.Tracer != nil {
@@ -358,23 +377,26 @@ func (e *Expander) expandNode(s *State, n int32, visited *Visited, emit func(*St
 // (u cannot start before its parent finishes, and at least sl_min(u) work
 // follows on u's longest descending chain). The just-scheduled node n
 // contributes ft + sl_min(u) for each of its children, all of which are
-// necessarily unscheduled.
+// necessarily unscheduled. The scan walks the expander's scratch list of
+// scheduled nodes, not the whole node set.
 func (e *Expander) hPlus(s *State, n int32, ft, g, h int32) int32 {
 	m := e.M
 	if lb := m.staticLB - g; lb > h {
 		h = lb
 	}
-	childMask := s.mask | 1<<uint(n)
-	for q := int32(0); int(q) < m.V; q++ {
-		if e.procOf[q] < 0 && q != n {
+	childMask := s.mask.With(n)
+	for _, a := range m.G.Succ(n) {
+		if childMask.Has(a.Node) {
 			continue
 		}
-		fq := e.finishOf[q]
-		if q == n {
-			fq = ft
+		if hb := ft + m.slMin[a.Node] - g; hb > h {
+			h = hb
 		}
+	}
+	for _, q := range e.sched {
+		fq := e.finishOf[q]
 		for _, a := range m.G.Succ(q) {
-			if childMask&(1<<uint(a.Node)) != 0 {
+			if childMask.Has(a.Node) {
 				continue
 			}
 			if hb := fq + m.slMin[a.Node] - g; hb > h {

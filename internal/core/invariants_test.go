@@ -220,7 +220,7 @@ func TestEquivalencePrunesInterchangeableSiblings(t *testing.T) {
 	}
 }
 
-// TestModelAcceptsMaxNodes asserts the documented 64-node ceiling is
+// TestModelAcceptsMaxNodes asserts the documented MaxNodes ceiling is
 // actually usable (model construction and one expansion).
 func TestModelAcceptsMaxNodes(t *testing.T) {
 	g := gen.MustRandom(gen.RandomConfig{V: MaxNodes, CCR: 1.0, Seed: 1})
@@ -231,7 +231,7 @@ func TestModelAcceptsMaxNodes(t *testing.T) {
 	var stats Stats
 	exp := m.NewExpander(Options{}, &stats)
 	if n := exp.Expand(Root(), NewVisited(), func(*State) {}); n == 0 {
-		t.Fatal("no children from the root of a 64-node graph")
+		t.Fatal("no children from the root of a MaxNodes-size graph")
 	}
 }
 

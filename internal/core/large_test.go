@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/procgraph"
+	"repro/internal/taskgraph"
+)
+
+// layeredSTG builds the canonical large-instance workload (gen.LayeredSTG:
+// a layered DAG in the zero-communication STG model).
+func layeredSTG(t testing.TB, layers, width int, seed uint64) *taskgraph.Graph {
+	t.Helper()
+	g, err := gen.LayeredSTG(gen.LayeredConfig{Layers: layers, Width: width, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSolveBeyond64Nodes is the new-size-regime check at the core layer:
+// instances with more than 64 tasks — beyond the old single-word mask —
+// solve to proven optimality, with schedules that validate, and the arena
+// and wide-mask machinery agree between the exact and ε engines. Zero-comm
+// layered instances keep the search tractable (the HPlus static-bound term
+// proves optimality in a dive) while still exercising multi-word masks on
+// every state.
+func TestSolveBeyond64Nodes(t *testing.T) {
+	for _, tc := range []struct {
+		layers, width, procs int
+	}{
+		{20, 4, 8}, // v = 80
+		{32, 4, 8}, // v = 128
+		{64, 4, 8}, // v = 256 == MaxNodes
+	} {
+		g := layeredSTG(t, tc.layers, tc.width, 42)
+		v := g.NumNodes()
+		if v <= 64 {
+			t.Fatalf("instance %dx%d has only %d nodes; the test needs v > 64", tc.layers, tc.width, v)
+		}
+		sys := procgraph.Complete(tc.procs)
+		exact, err := Solve(g, sys, Options{HFunc: HPlus})
+		if err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		if !exact.Optimal || exact.BoundFactor != 1 {
+			t.Fatalf("v=%d: not proven optimal (optimal=%v bf=%g)", v, exact.Optimal, exact.BoundFactor)
+		}
+		if err := exact.Schedule.Validate(); err != nil {
+			t.Fatalf("v=%d: invalid schedule: %v", v, err)
+		}
+		eps, err := Solve(g, sys, Options{HFunc: HPlus, Epsilon: 0.2})
+		if err != nil {
+			t.Fatalf("v=%d aeps: %v", v, err)
+		}
+		if float64(eps.Length) > 1.2*float64(exact.Length)+1e-9 {
+			t.Fatalf("v=%d: aeps length %d breaks the 1.2 bound on optimum %d", v, eps.Length, exact.Length)
+		}
+	}
+}
+
+// TestVisitedGrowAndVerify fills the open-addressed table far past its
+// initial capacity through a real search and asserts exact-verify kept
+// every distinct state distinct (re-adding any recorded state must hit).
+func TestVisitedGrowAndVerify(t *testing.T) {
+	g := gen.MustRandom(gen.RandomConfig{V: 16, CCR: 1.0, Seed: 3})
+	m, err := NewModel(g, procgraph.Complete(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	exp := m.NewExpander(Options{Disable: DisableUpperBound}, &stats)
+	vt := NewVisited()
+	open := NewBestFirstQueue()
+	var all []*State
+	emit := func(c *State) {
+		if !c.Complete(m) {
+			open.Push(c)
+		}
+		all = append(all, c)
+	}
+	exp.Expand(Root(), vt, emit)
+	for open.Len() > 0 && vt.Len() < 3*visitedMinSize {
+		exp.Expand(open.Pop(), vt, emit)
+	}
+	if vt.Len() < 2*visitedMinSize {
+		t.Fatalf("search too small to force growth: %d entries", vt.Len())
+	}
+	if vt.Len() != len(all) {
+		t.Fatalf("table has %d entries; %d distinct states were emitted", vt.Len(), len(all))
+	}
+	hitsBefore := vt.Hits
+	for _, s := range all {
+		if vt.Add(s) {
+			t.Fatal("re-adding a recorded state was accepted as new")
+		}
+	}
+	if vt.Hits != hitsBefore+int64(len(all)) {
+		t.Fatalf("Hits %d, want %d", vt.Hits, hitsBefore+int64(len(all)))
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import "math/bits"
+
+// MaskWords is the number of 64-bit words in a Mask. MaxNodes follows from
+// it: widening the engine to bigger task graphs is a one-constant change
+// (every mask operation below is word-count generic).
+const MaskWords = 4
+
+// MaxNodes is the largest task graph the engines accept: the scheduled-set
+// bitset of a search state holds one bit per node. The paper's evaluation
+// tops out at v = 32; the multi-word mask carries the same search to
+// v = 64 * MaskWords.
+const MaxNodes = MaskWords * 64
+
+// Mask is the scheduled-node set of a search state: bit n is set iff node n
+// is scheduled. It is a fixed-size array, so masks are comparable with ==
+// (the duplicate table and the engines rely on that) and copy by value with
+// no allocation.
+type Mask [MaskWords]uint64
+
+// Set sets bit n.
+func (m *Mask) Set(n int32) { m[n>>6] |= 1 << uint(n&63) }
+
+// Has reports whether bit n is set.
+func (m *Mask) Has(n int32) bool { return m[n>>6]&(1<<uint(n&63)) != 0 }
+
+// With returns a copy of m with bit n set.
+func (m Mask) With(n int32) Mask {
+	m[n>>6] |= 1 << uint(n&63)
+	return m
+}
+
+// Count returns the number of set bits.
+func (m Mask) Count() int {
+	c := 0
+	for _, w := range m {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMaskBasics covers set/test/with/count across word boundaries.
+func TestMaskBasics(t *testing.T) {
+	var m Mask
+	for _, n := range []int32{0, 1, 63, 64, 65, 127, 128, 200, int32(MaxNodes - 1)} {
+		if m.Has(n) {
+			t.Fatalf("fresh mask has bit %d", n)
+		}
+		m.Set(n)
+		if !m.Has(n) {
+			t.Fatalf("Set(%d) did not stick", n)
+		}
+	}
+	if got := m.Count(); got != 9 {
+		t.Fatalf("Count = %d, want 9", got)
+	}
+	w := m.With(17)
+	if !w.Has(17) || m.Has(17) {
+		t.Fatal("With must set the bit on the copy only")
+	}
+	if w.Count() != m.Count()+1 {
+		t.Fatalf("With changed more than one bit: %d vs %d", w.Count(), m.Count())
+	}
+	if w == m {
+		t.Fatal("masks with different bits compare equal")
+	}
+	if v := m.With(0); v != m {
+		t.Fatal("With on an already-set bit changed the mask")
+	}
+}
+
+// TestMaskAgainstOracle drives a Mask and a map-of-ints oracle through the
+// same random operation stream and asserts they agree on membership, count,
+// and equality at every step.
+func TestMaskAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 50; round++ {
+		var m Mask
+		oracle := map[int32]bool{}
+		var other Mask
+		for op := 0; op < 200; op++ {
+			n := int32(rng.Intn(MaxNodes))
+			switch rng.Intn(3) {
+			case 0:
+				m.Set(n)
+				oracle[n] = true
+			case 1:
+				m = m.With(n)
+				oracle[n] = true
+			default:
+				if m.Has(n) != oracle[n] {
+					t.Fatalf("round %d: Has(%d) = %v, oracle %v", round, n, m.Has(n), oracle[n])
+				}
+			}
+		}
+		if m.Count() != len(oracle) {
+			t.Fatalf("round %d: Count = %d, oracle %d", round, m.Count(), len(oracle))
+		}
+		for n := range oracle {
+			other.Set(n)
+		}
+		if other != m {
+			t.Fatalf("round %d: masks built from the same set differ", round)
+		}
+	}
+}
+
+// FuzzMask fuzzes set/test/equality against the map oracle: each byte of
+// the input is one operation on a node index derived from it.
+func FuzzMask(f *testing.F) {
+	f.Add([]byte{0, 1, 63, 64, 65, 128, 255})
+	f.Add([]byte{})
+	f.Add([]byte{255, 255, 0, 0, 7, 7})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var m Mask
+		oracle := map[int32]bool{}
+		for i, b := range ops {
+			n := int32(b) % MaxNodes
+			if i%3 == 2 {
+				if m.Has(n) != oracle[n] {
+					t.Fatalf("op %d: Has(%d) = %v, oracle %v", i, n, m.Has(n), oracle[n])
+				}
+				continue
+			}
+			if i%2 == 0 {
+				m.Set(n)
+			} else {
+				m = m.With(n)
+			}
+			oracle[n] = true
+		}
+		if m.Count() != len(oracle) {
+			t.Fatalf("Count = %d, oracle %d", m.Count(), len(oracle))
+		}
+		var rebuilt Mask
+		for n := range oracle {
+			rebuilt.Set(n)
+		}
+		if rebuilt != m {
+			t.Fatal("equality broken: same set, different masks")
+		}
+		for n := int32(0); n < MaxNodes; n++ {
+			if m.Has(n) != oracle[n] {
+				t.Fatalf("final sweep: Has(%d) = %v, oracle %v", n, m.Has(n), oracle[n])
+			}
+		}
+	})
+}

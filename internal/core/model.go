@@ -28,11 +28,6 @@ import (
 	"repro/internal/taskgraph"
 )
 
-// MaxNodes is the largest task graph the engine accepts; the scheduled-set
-// bitmask of a search state is a uint64. The paper's evaluation tops out at
-// v = 32.
-const MaxNodes = 64
-
 // Model holds everything about a (graph, system) instance that the search
 // needs, precomputed once: per-PE execution costs, the static levels that
 // define h, the b-level + t-level priority order, node-equivalence classes
@@ -61,7 +56,7 @@ func NewModel(g *taskgraph.Graph, sys *procgraph.System) (*Model, error) {
 		return nil, fmt.Errorf("core: empty task graph")
 	}
 	if v > MaxNodes {
-		return nil, fmt.Errorf("core: %d nodes exceeds the engine limit of %d", v, MaxNodes)
+		return nil, fmt.Errorf("core: %d nodes exceeds the engine limit of %d (the %d-word scheduled-set mask)", v, MaxNodes, MaskWords)
 	}
 	if p == 0 {
 		return nil, fmt.Errorf("core: system has no processors")
@@ -121,13 +116,12 @@ func NewModel(g *taskgraph.Graph, sys *procgraph.System) (*Model, error) {
 	m.eqRep = equivalenceClasses(g)
 	m.procRep = sys.Classes()
 
-	tlMin := g.TLevelsWith(wMin)
+	tlNoComm := tlMinNoComm(g, wMin)
 	for n := 0; n < v; n++ {
-		if lb := tlMinNoComm(g, wMin)[n] + m.slMin[n]; lb > m.staticLB {
+		if lb := tlNoComm[n] + m.slMin[n]; lb > m.staticLB {
 			m.staticLB = lb
 		}
 	}
-	_ = tlMin
 	return m, nil
 }
 

@@ -67,12 +67,18 @@ func (q *BestFirstQueue) Len() int { return q.h.Len() }
 // be consumed by whichever copy surfaces first and turn the remaining dead
 // copy into a live "ghost" whose f deflates MinF forever — the multiset
 // count keeps pushes and pops exactly balanced.
+//
+// Dead entries are not left to surface lazily at the top: whenever they
+// exceed half of `all`, compact sweeps them (and their `removed` counts)
+// out eagerly, so the retained memory of both structures stays proportional
+// to the live queue, not to the total pop history.
 type FocalQueue struct {
 	eps     float64
 	pending *heapx.Heap[*State]
 	focal   *heapx.Heap[*State]
 	all     *heapx.Heap[*State]
 	removed map[*State]int // pops not yet purged from all, per pointer
+	dead    int            // total count over removed: dead copies inside all
 }
 
 // NewFocalQueue returns an empty FOCAL queue with the given ε.
@@ -96,6 +102,7 @@ func (q *FocalQueue) Push(s *State) {
 func (q *FocalQueue) MinF() (int32, bool) {
 	for q.all.Len() > 0 && q.removed[q.all.Peek()] > 0 {
 		s := q.all.Pop()
+		q.dead--
 		if q.removed[s] == 1 {
 			delete(q.removed, s)
 		} else {
@@ -106,6 +113,33 @@ func (q *FocalQueue) MinF() (int32, bool) {
 		return 0, false
 	}
 	return q.all.Peek().f, true
+}
+
+// compact rebuilds `all` without its dead copies once they exceed half the
+// heap, consuming the matching `removed` counts. Only the multiset of f
+// values in `all` matters to MinF, so the rebuild cannot change any
+// observable ordering.
+func (q *FocalQueue) compact() {
+	if q.dead*2 <= q.all.Len() {
+		return
+	}
+	kept := make([]*State, 0, q.all.Len()-q.dead)
+	for _, s := range q.all.Items() {
+		if c := q.removed[s]; c > 0 {
+			if c == 1 {
+				delete(q.removed, s)
+			} else {
+				q.removed[s] = c - 1
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	q.all.Clear()
+	for _, s := range kept {
+		q.all.Push(s)
+	}
+	q.dead = 0
 }
 
 // Pop returns the deepest state within the FOCAL bound, or nil when empty.
@@ -128,6 +162,8 @@ func (q *FocalQueue) Pop() *State {
 				continue
 			}
 			q.removed[s]++
+			q.dead++
+			q.compact()
 			return s
 		}
 		// FOCAL drained by stale entries; re-establish the bound. The min-f

@@ -153,6 +153,45 @@ func TestFocalQueueRePushPointer(t *testing.T) {
 	}
 }
 
+// TestFocalQueueBoundedRetention asserts the lazy-deletion structures stay
+// proportional to the live queue under push/pop churn: before the eager
+// compaction, `all` and `removed` retained every dead entry until it
+// happened to surface at the top, so a long search with a small live queue
+// held its whole pop history in memory.
+func TestFocalQueueBoundedRetention(t *testing.T) {
+	q := NewFocalQueue(0.5)
+	rng := rand.New(rand.NewSource(11))
+	sig := uint64(0)
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 500; i++ {
+			sig++
+			q.Push(&State{f: int32(rng.Intn(100)), depth: int32(rng.Intn(30)), sig: sig})
+		}
+		for i := 0; i < 490; i++ {
+			if q.Pop() == nil {
+				t.Fatal("Pop nil with states queued")
+			}
+		}
+		live := q.Len()
+		// Compaction fires once dead copies exceed half of `all`, so the
+		// heap can never hold more than 2× the live states (plus the one
+		// pop that tripped the threshold).
+		if q.all.Len() > 2*live+2 {
+			t.Fatalf("round %d: all retains %d entries for %d live states", round, q.all.Len(), live)
+		}
+		dead := 0
+		for _, c := range q.removed {
+			dead += c
+		}
+		if dead != q.dead {
+			t.Fatalf("round %d: removed multiset totals %d but dead counter is %d", round, dead, q.dead)
+		}
+		if q.all.Len() != live+q.dead {
+			t.Fatalf("round %d: all holds %d entries; want %d live + %d dead", round, q.all.Len(), live, q.dead)
+		}
+	}
+}
+
 // TestNewQueueSelectsImplementation asserts the Options dispatch.
 func TestNewQueueSelectsImplementation(t *testing.T) {
 	if _, ok := NewQueue(Options{}).(*BestFirstQueue); !ok {

@@ -100,11 +100,17 @@ func SolveModel(m *Model, opt Options) (*Result, error) {
 		res.Schedule = m.ScheduleOf(goalBest)
 		res.Length = goalBest.f
 		if proved && !cutOff {
-			res.BoundFactor = 1 + opt.Epsilon
 			// An Aε* result is still provably optimal when it meets the
-			// final admissible lower bound exactly.
+			// final admissible lower bound exactly (or exhausted OPEN); a
+			// proven-optimal result reports the exact guarantee, not the
+			// looser ε bound it happened to search under.
 			fmin, ok := open.MinF()
 			res.Optimal = opt.Epsilon == 0 || !ok || goalBest.f <= fmin
+			if res.Optimal {
+				res.BoundFactor = 1
+			} else {
+				res.BoundFactor = 1 + opt.Epsilon
+			}
 		}
 	default:
 		// Cut off before any complete schedule was generated; fall back to

@@ -320,12 +320,12 @@ func TestHeterogeneousPrefersFastPE(t *testing.T) {
 // TestModelValidation covers constructor errors.
 func TestModelValidation(t *testing.T) {
 	b := taskgraph.NewBuilder("big")
-	for i := 0; i < 65; i++ {
+	for i := 0; i < MaxNodes+1; i++ {
 		b.AddNode(1)
 	}
 	g := b.MustBuild()
 	if _, err := NewModel(g, procgraph.Complete(2)); err == nil {
-		t.Error("expected error for v > 64")
+		t.Errorf("expected error for v > %d", MaxNodes)
 	}
 }
 

@@ -14,14 +14,18 @@ import (
 // of the same assignments are the same partial schedule and evolve
 // identically. The sig field is an order-independent 64-bit mix of the
 // triples; Visited confirms hash hits exactly.
+//
+// States are allocated from per-solve Arena slabs (see arena.go), never
+// individually — the expander's hot path performs no heap allocation per
+// child.
 type State struct {
 	parent *State
 	sig    uint64
-	mask   uint64 // bit n set iff node n is scheduled
-	g      int32  // max finish time of scheduled nodes
-	h      int32  // admissible estimate of the remaining schedule length
-	f      int32  // g + h
-	node   int32  // node scheduled by this delta (-1 for the root)
+	mask   Mask  // bit n set iff node n is scheduled
+	g      int32 // max finish time of scheduled nodes
+	h      int32 // admissible estimate of the remaining schedule length
+	f      int32 // g + h
+	node   int32 // node scheduled by this delta (-1 for the root)
 	proc   int32
 	start  int32
 	finish int32
@@ -55,6 +59,9 @@ func (s *State) Finish() int32 { return s.finish }
 // Parent returns the predecessor state (nil for the root).
 func (s *State) Parent() *State { return s.parent }
 
+// Scheduled returns the scheduled-node set of the state.
+func (s *State) Scheduled() Mask { return s.mask }
+
 // Sig returns the order-independent 64-bit signature of the partial
 // schedule, used for duplicate detection and for hash-based state-space
 // partitioning across PPEs (Mahapatra & Dutt style, the paper's ref. [15]).
@@ -63,7 +70,9 @@ func (s *State) Sig() uint64 { return s.sig }
 // Complete reports whether the state schedules all v nodes of the model.
 func (s *State) Complete(m *Model) bool { return int(s.depth) == m.V }
 
-// Root returns the initial empty state Φ with f(Φ) = 0.
+// Root returns the initial empty state Φ with f(Φ) = 0. The root is the one
+// state allocated outside the arena: it predates the first expansion and is
+// shared freely.
 func Root() *State { return &State{node: -1, proc: -1} }
 
 // Less is the OPEN-list ordering of the exact A* search: smaller f first;
@@ -145,39 +154,80 @@ func (m *Model) ScheduleOf(s *State) *schedule.Schedule {
 }
 
 // Visited is the duplicate-state table (the OPEN ∪ CLOSED membership test of
-// §3.1). Keys are state signatures; hash hits are verified exactly so two
-// different partial schedules are never merged.
+// §3.1). It is an open-addressed hash table whose entries carry the
+// identity-defining fields — signature, scheduled-set mask words, g, depth —
+// inline, per the duplicate-free-state-space literature (Orr & Sinnen): a
+// probe almost always resolves on the inline words alone, without touching
+// the candidate state's memory, and the parent chain is only chased for the
+// exact verification of a full inline match. Compared with the previous
+// map[uint64][]*State, the table stores no per-signature bucket slices and
+// its memory is a single flat slab that grows by doubling.
 type Visited struct {
-	buckets    map[uint64][]*State
-	Hits       int64 // duplicate states rejected
-	Collisions int64 // 64-bit hash collisions that exact comparison caught
+	entries    []visEntry // power-of-two sized, linear probing
+	n          int        // occupied entries
+	Hits       int64      // duplicate states rejected
+	Collisions int64      // 64-bit hash collisions that exact comparison caught
 }
+
+// visEntry is one slot: the inline identity words plus the state pointer
+// (nil marks an empty slot) chased only on a full inline match.
+type visEntry struct {
+	st    *State
+	sig   uint64
+	mask  Mask
+	g     int32
+	depth int32
+}
+
+// visitedMinSize is the initial table capacity (a power of two).
+const visitedMinSize = 1024
 
 // NewVisited returns an empty table.
 func NewVisited() *Visited {
-	return &Visited{buckets: make(map[uint64][]*State, 1024)}
+	return &Visited{entries: make([]visEntry, visitedMinSize)}
 }
 
 // Add inserts s unless an identical partial schedule is already present; it
 // reports whether s was new.
 func (vt *Visited) Add(s *State) bool {
-	bucket := vt.buckets[s.sig]
-	for _, t := range bucket {
-		if sameAssignment(s, t) {
-			vt.Hits++
-			return false
-		}
-		vt.Collisions++
+	if vt.n*4 >= len(vt.entries)*3 {
+		vt.grow()
 	}
-	vt.buckets[s.sig] = append(bucket, s)
-	return true
+	idx := int(s.sig) & (len(vt.entries) - 1)
+	for {
+		e := &vt.entries[idx]
+		if e.st == nil {
+			*e = visEntry{st: s, sig: s.sig, mask: s.mask, g: s.g, depth: s.depth}
+			vt.n++
+			return true
+		}
+		if e.sig == s.sig {
+			if e.mask == s.mask && e.g == s.g && e.depth == s.depth && sameAssignment(s, e.st) {
+				vt.Hits++
+				return false
+			}
+			vt.Collisions++
+		}
+		idx = (idx + 1) & (len(vt.entries) - 1)
+	}
+}
+
+// grow doubles the table and reinserts every entry.
+func (vt *Visited) grow() {
+	old := vt.entries
+	vt.entries = make([]visEntry, len(old)*2)
+	for i := range old {
+		e := &old[i]
+		if e.st == nil {
+			continue
+		}
+		idx := int(e.sig) & (len(vt.entries) - 1)
+		for vt.entries[idx].st != nil {
+			idx = (idx + 1) & (len(vt.entries) - 1)
+		}
+		vt.entries[idx] = *e
+	}
 }
 
 // Len returns the number of distinct states recorded.
-func (vt *Visited) Len() int {
-	n := 0
-	for _, b := range vt.buckets {
-		n += len(b)
-	}
-	return n
-}
+func (vt *Visited) Len() int { return vt.n }

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/procgraph"
+	"repro/internal/schedule"
 	"repro/internal/taskgraph"
 )
 
@@ -91,10 +92,12 @@ type searcher struct {
 	visited *core.Visited
 	stats   core.Stats
 
-	// incumbent is the best complete state found; incumbentLen its length,
-	// initialized to the upper bound U (with no state) so the bound prunes
-	// from the first expansion.
-	incumbent    *core.State
+	// incumbent is the best complete schedule found, materialized at
+	// discovery time (its goal state lives in an arena frame that is
+	// rewound when the DFS frame returns); incumbentLen its length,
+	// initialized to the upper bound U (with no schedule) so the bound
+	// prunes from the first expansion.
+	incumbent    *schedule.Schedule
 	incumbentLen int32
 
 	// IDA* pass bookkeeping.
@@ -159,6 +162,13 @@ func (d *searcher) cut() bool {
 // dfs explores the subtree under s depth-first, best-f-first, pruning
 // against the incumbent (and, for IDA* passes, the threshold). depth is the
 // recursion depth, tracked as the MaxOpen analog (peak retained states).
+//
+// Each frame snapshots the expander's arena and rewinds it on return: the
+// frame's entire subtree is dead by then (the incumbent is materialized out
+// of the arena at discovery), so the engines keep their O(v·branching)
+// retained-state footprint even though states come from slabs. The rewind
+// is skipped when a duplicate table is in play — its entries must outlive
+// the frame.
 func (d *searcher) dfs(s *core.State, depth int) {
 	if d.cut() {
 		return
@@ -166,6 +176,7 @@ func (d *searcher) dfs(s *core.State, depth int) {
 	if depth > d.stats.MaxOpen {
 		d.stats.MaxOpen = depth
 	}
+	mark := d.exp.Arena().Mark()
 
 	// Collect children into a private slice: the expander emits into
 	// d.children, which the recursion below would otherwise clobber.
@@ -180,7 +191,7 @@ func (d *searcher) dfs(s *core.State, depth int) {
 		c := kids[i]
 		if c.Complete(d.m) {
 			if c.F() < d.incumbentLen {
-				d.incumbent, d.incumbentLen = c, c.F()
+				d.incumbent, d.incumbentLen = d.m.ScheduleOf(c), c.F()
 			}
 			continue
 		}
@@ -202,6 +213,9 @@ func (d *searcher) dfs(s *core.State, depth int) {
 		d.dfs(c, depth+1)
 	}
 	d.children = d.children[:base]
+	if d.visited == nil {
+		d.exp.Arena().Release(mark)
+	}
 }
 
 // result assembles the engine outcome: the incumbent when one was found, or
@@ -211,8 +225,8 @@ func (d *searcher) result(fallback *core.Result, started time.Time) *core.Result
 	res := &core.Result{Stats: d.stats}
 	switch {
 	case d.incumbent != nil:
-		res.Schedule = d.m.ScheduleOf(d.incumbent)
-		res.Length = d.incumbent.F()
+		res.Schedule = d.incumbent
+		res.Length = d.incumbentLen
 	default:
 		res.Schedule = fallback.Schedule
 		res.Length = fallback.Length

@@ -311,7 +311,7 @@ func TestIDAThresholdsTerminate(t *testing.T) {
 }
 
 // TestDFBBRejectsBadInstances asserts model validation errors propagate
-// (here: a graph exceeding the engine's 64-node bitmask limit).
+// (here: a graph exceeding the engine's MaxNodes mask limit).
 func TestDFBBRejectsBadInstances(t *testing.T) {
 	g := gen.MustRandom(gen.RandomConfig{V: core.MaxNodes + 1, CCR: 1.0, Seed: 1})
 	if _, err := Solve(g, procgraph.Complete(2), Options{}); err == nil {

@@ -47,7 +47,7 @@ func SolveIDAModel(m *core.Model, opt Options) (*core.Result, error) {
 		if d.stopped {
 			break
 		}
-		if d.incumbent != nil && d.incumbent.F() <= d.nextThresh {
+		if d.incumbent != nil && d.incumbentLen <= d.nextThresh {
 			break // nothing unexplored can beat the incumbent
 		}
 		if d.nextThresh >= d.incumbentLen || d.nextThresh == inf {

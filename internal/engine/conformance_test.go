@@ -79,6 +79,18 @@ func TestEngineConformance(t *testing.T) {
 					if err := res.Schedule.Validate(); err != nil {
 						t.Fatalf("%s v=%d seed=%d %s: invalid schedule: %v", e.Name(), v, seed, sys.Name(), err)
 					}
+					// The BoundFactor contract across every engine: a proven
+					// optimum reports exactly 1 (never the looser ε bound the
+					// engine searched under), and a guarantee is only ever 1,
+					// 1+ε, or 0 (no guarantee).
+					if res.Optimal && res.BoundFactor != 1 {
+						t.Errorf("%s v=%d seed=%d %s: Optimal with BoundFactor %g; want exactly 1",
+							e.Name(), v, seed, sys.Name(), res.BoundFactor)
+					}
+					if !res.Optimal && res.BoundFactor == 1 {
+						t.Errorf("%s v=%d seed=%d %s: BoundFactor 1 without a proven optimum",
+							e.Name(), v, seed, sys.Name())
+					}
 					if res.BoundFactor > 1 {
 						// ε-bounded engine: length within the proven factor.
 						if float64(res.Length) > res.BoundFactor*float64(ref.Length)+1e-9 {

@@ -5,9 +5,11 @@
 package gen
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand/v2"
 
+	"repro/internal/stg"
 	"repro/internal/taskgraph"
 )
 
@@ -193,4 +195,23 @@ func Layered(cfg LayeredConfig) (*taskgraph.Graph, error) {
 		}
 	}
 	return b.Build()
+}
+
+// LayeredSTG builds a layered random DAG and round-trips it through the
+// Standard Task Graph format, which drops communication costs — the STG
+// model. This is the canonical large-instance (v > 64) workload: with zero
+// communication the HPlus static-bound term usually proves optimality in a
+// single dive, so instances up to the engine cap stay tractable. The
+// acceptance tests (core, server, cluster, CLI) and the bench `large`
+// experiment all share this one shape.
+func LayeredSTG(cfg LayeredConfig) (*taskgraph.Graph, error) {
+	g, err := Layered(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := stg.Write(&buf, g); err != nil {
+		return nil, err
+	}
+	return stg.Read(&buf, stg.ImportOptions{Name: g.Name() + "-stg"})
 }

@@ -104,7 +104,6 @@ func ForkJoin(width, depth int, compCost, commCost int32) (*taskgraph.Graph, err
 	}
 	b := taskgraph.NewBuilder(fmt.Sprintf("forkjoin-%dx%d", width, depth))
 	src := b.AddLabeledNode(compCost, "fork")
-	sink := int32(-1)
 	lasts := make([]int32, width)
 	for wi := 0; wi < width; wi++ {
 		prev := src
@@ -115,7 +114,7 @@ func ForkJoin(width, depth int, compCost, commCost int32) (*taskgraph.Graph, err
 		}
 		lasts[wi] = prev
 	}
-	sink = b.AddLabeledNode(compCost, "join")
+	sink := b.AddLabeledNode(compCost, "join")
 	for _, l := range lasts {
 		b.AddEdge(l, sink, commCost)
 	}

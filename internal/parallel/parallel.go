@@ -386,9 +386,15 @@ func solve(m *core.Model, opt Options) (*core.Result, error) {
 		res.Schedule = m.ScheduleOf(incumbent)
 		res.Length = incumbent.F()
 		if proved && !cutOff {
-			res.BoundFactor = 1 + opt.Epsilon
 			gmin, anyOpen := globalMinF(workers)
 			res.Optimal = opt.Epsilon == 0 || !anyOpen || incumbent.F() <= gmin
+			// A proven-optimal run reports the exact guarantee, not the
+			// looser ε bound it happened to search under.
+			if res.Optimal {
+				res.BoundFactor = 1
+			} else {
+				res.BoundFactor = 1 + opt.Epsilon
+			}
 		}
 	} else {
 		res.Schedule = fallback

@@ -57,6 +57,10 @@ type JobConfig struct {
 	PPEs int `json:"ppes,omitempty"`
 	// NoPruning disables the §3.2 prunings (ablation runs).
 	NoPruning bool `json:"no_pruning,omitempty"`
+	// HPlus selects the strengthened admissible heuristic — the practical
+	// choice for large (v > 64) instances, whose static-lower-bound term
+	// often proves optimality in a single dive.
+	HPlus bool `json:"h_plus,omitempty"`
 }
 
 // EngineConfig translates the wire budget into the registry configuration.
@@ -73,6 +77,9 @@ func (c JobConfig) EngineConfig() engine.Config {
 	}
 	if c.NoPruning {
 		cfg.Disable = core.DisableAllPruning
+	}
+	if c.HPlus {
+		cfg.HFunc = core.HPlus
 	}
 	return cfg
 }
@@ -259,6 +266,12 @@ func decodeInstance(req *SubmitRequest) (*taskgraph.Graph, *procgraph.System, er
 	}
 	if err != nil {
 		return nil, nil, err
+	}
+	// Reject oversize graphs at the door with the documented error shape
+	// instead of letting the job fail at solve time: every engine shares the
+	// core mask capacity, so no engine choice can save the job.
+	if v := g.NumNodes(); v > core.MaxNodes {
+		return nil, nil, fmt.Errorf("task graph has %d nodes; the engines accept at most %d (the scheduled-set mask capacity)", v, core.MaxNodes)
 	}
 
 	sys, err := decodeSystem(req.System, g.NumNodes())

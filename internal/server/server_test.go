@@ -22,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/procgraph"
+	"repro/internal/stg"
 	"repro/internal/taskgraph"
 )
 
@@ -933,4 +934,90 @@ func ExampleServer() {
 		time.Sleep(5 * time.Millisecond)
 	}
 	// Output: length: 5 optimal: true
+}
+
+// largeLayeredSTG renders the canonical large-instance workload
+// (gen.LayeredSTG's shape) in Standard Task Graph text form, as a client
+// would submit it.
+func largeLayeredSTG(t *testing.T, layers, width int) string {
+	t.Helper()
+	g, err := gen.Layered(gen.LayeredConfig{Layers: layers, Width: width, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := stg.Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestLargeInstanceJob is the new-size-regime acceptance at the job API: a
+// v = 128 layered STG instance submitted over the wire solves to proven
+// optimality (BoundFactor exactly 1) with the strengthened heuristic, and
+// the returned schedule validates client-side.
+func TestLargeInstanceJob(t *testing.T) {
+	_, base := newTestServer(t, Config{})
+	stgText := largeLayeredSTG(t, 32, 4) // v = 128, beyond the old 64-task mask
+	sub := postJob(t, base, SubmitRequest{
+		GraphSTG: stgText,
+		System:   json.RawMessage(`"complete:8"`),
+		Engine:   "astar",
+		Config:   JobConfig{HPlus: true},
+	})
+	st := waitTerminal(t, base, sub.ID)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (error %q), want done", st.State, st.Error)
+	}
+	if !st.Optimal {
+		t.Fatal("v=128 job did not prove optimality")
+	}
+	resp, err := http.Get(base + "/v1/jobs/" + sub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.BoundFactor != 1 {
+		t.Fatalf("result optimal=%v bound=%g, want true/1", res.Optimal, res.BoundFactor)
+	}
+	if got := len(res.Schedule.Placements); got != 128 {
+		t.Fatalf("schedule has %d placements, want 128", got)
+	}
+	g, err := stg.Read(strings.NewReader(stgText), stg.ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := res.Schedule.ToSchedule(g, procgraph.Complete(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(); err != nil {
+		t.Fatalf("returned schedule invalid: %v", err)
+	}
+}
+
+// TestOversizeGraphRejected pins the documented error shape for graphs
+// beyond the engine cap: a 400 at submit time naming the limit, not a job
+// that fails later.
+func TestOversizeGraphRejected(t *testing.T) {
+	_, base := newTestServer(t, Config{})
+	resp := postJobRaw(t, base, SubmitRequest{
+		GraphSTG: largeLayeredSTG(t, core.MaxNodes/4+1, 4), // > MaxNodes tasks
+		System:   json.RawMessage(`"complete:4"`),
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversize submit: got %d, want 400", resp.StatusCode)
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, fmt.Sprint(core.MaxNodes)) {
+		t.Fatalf("error %q does not name the %d-node cap", e.Error, core.MaxNodes)
+	}
 }

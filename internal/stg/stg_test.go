@@ -1,4 +1,4 @@
-package stg
+package stg_test
 
 import (
 	"strings"
@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/procgraph"
+	"repro/internal/stg"
 )
 
 // sample is a small STG instance in the conventional dummy-wrapped layout:
@@ -23,7 +24,7 @@ const sample = `
 
 // TestReadSample parses the sample and checks the spliced graph.
 func TestReadSample(t *testing.T) {
-	g, err := Read(strings.NewReader(sample), ImportOptions{})
+	g, err := stg.Read(strings.NewReader(sample), stg.ImportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestReadSample(t *testing.T) {
 
 // TestReadKeepDummies retains the dummies with clamped weight 1.
 func TestReadKeepDummies(t *testing.T) {
-	g, err := Read(strings.NewReader(sample), ImportOptions{KeepDummies: true})
+	g, err := stg.Read(strings.NewReader(sample), stg.ImportOptions{KeepDummies: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestReadKeepDummies(t *testing.T) {
 
 // TestReadEdgeCost synthesizes a uniform communication cost.
 func TestReadEdgeCost(t *testing.T) {
-	g, err := Read(strings.NewReader(sample), ImportOptions{EdgeCost: 9})
+	g, err := stg.Read(strings.NewReader(sample), stg.ImportOptions{EdgeCost: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestReadDummyChain(t *testing.T) {
 3 6 1 2
 4 5 1 0
 `
-	g, err := Read(strings.NewReader(chain), ImportOptions{})
+	g, err := stg.Read(strings.NewReader(chain), stg.ImportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,10 +111,10 @@ func TestReadDummyChain(t *testing.T) {
 func TestRoundTrip(t *testing.T) {
 	g := gen.MustRandom(gen.RandomConfig{V: 18, CCR: 1.0, Seed: 11})
 	var b strings.Builder
-	if err := Write(&b, g); err != nil {
+	if err := stg.Write(&b, g); err != nil {
 		t.Fatal(err)
 	}
-	back, err := Read(strings.NewReader(b.String()), ImportOptions{})
+	back, err := stg.Read(strings.NewReader(b.String()), stg.ImportOptions{})
 	if err != nil {
 		t.Fatalf("re-import failed: %v\n%s", err, b.String())
 	}
@@ -141,10 +142,10 @@ func TestRoundTrip(t *testing.T) {
 func TestRoundTripPaperExample(t *testing.T) {
 	g := gen.PaperExample()
 	var b strings.Builder
-	if err := Write(&b, g); err != nil {
+	if err := stg.Write(&b, g); err != nil {
 		t.Fatal(err)
 	}
-	back, err := Read(strings.NewReader(b.String()), ImportOptions{})
+	back, err := stg.Read(strings.NewReader(b.String()), stg.ImportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestReadErrors(t *testing.T) {
 		{"all dummies", "2\n0 0 0\n1 0 1 0\n"},
 	}
 	for _, c := range cases {
-		if _, err := Read(strings.NewReader(c.in), ImportOptions{}); err == nil {
+		if _, err := stg.Read(strings.NewReader(c.in), stg.ImportOptions{}); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}
@@ -197,7 +198,7 @@ func TestReadWithoutDummyWrap(t *testing.T) {
 1 3 1 0
 2 4 1 1
 `
-	g, err := Read(strings.NewReader(plain), ImportOptions{})
+	g, err := stg.Read(strings.NewReader(plain), stg.ImportOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestReadWithoutDummyWrap(t *testing.T) {
 
 // TestNameOption sets the graph name.
 func TestNameOption(t *testing.T) {
-	g, err := Read(strings.NewReader(sample), ImportOptions{Name: "bench-54"})
+	g, err := stg.Read(strings.NewReader(sample), stg.ImportOptions{Name: "bench-54"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -150,6 +150,19 @@ const (
 	DisableAllPruning    = core.DisableAllPruning
 )
 
+// Heuristic selectors for EngineConfig.HFunc: the paper's h (default) and
+// the strengthened admissible variant, recommended for large instances.
+const (
+	HPaper = core.HPaper
+	HPlus  = core.HPlus
+)
+
+// MaxTasks is the largest task graph every engine accepts — the capacity of
+// a search state's multi-word scheduled-set mask. Oversize graphs are
+// rejected by Solve (and by the daemon at submit time) with an error naming
+// this cap.
+const MaxTasks = core.MaxNodes
+
 // NewGraphBuilder starts a task graph.
 func NewGraphBuilder(name string) *GraphBuilder { return taskgraph.NewBuilder(name) }
 

@@ -2,8 +2,11 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/gen"
 )
 
 // TestFacadeQuickstart exercises the public API end to end on the paper's
@@ -290,5 +293,46 @@ func TestFacadeSTG(t *testing.T) {
 	}
 	if back.NumNodes() != g.NumNodes() {
 		t.Fatalf("round trip: %d nodes; want %d", back.NumNodes(), g.NumNodes())
+	}
+}
+
+// TestFacadeBeyond64Tasks exercises the new size regime through the public
+// API: an 80-task layered instance — beyond the old single-uint64 mask —
+// solves to proven optimality via repro.Solve with the strengthened
+// heuristic, and an oversize graph reports the documented cap error.
+func TestFacadeBeyond64Tasks(t *testing.T) {
+	gn, err := gen.Layered(gen.LayeredConfig{Layers: 20, Width: 4, Seed: 42}) // v = 80
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteSTG(&buf, gn); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadSTG(strings.NewReader(buf.String()), STGImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 80 {
+		t.Fatalf("instance has %d nodes, want 80", g.NumNodes())
+	}
+	res, err := Solve(context.Background(), g, Complete(8), "astar", EngineConfig{HFunc: HPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.BoundFactor != 1 {
+		t.Fatalf("v=80 solve: optimal=%v bound=%g, want true/1", res.Optimal, res.BoundFactor)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	big, err := gen.Layered(gen.LayeredConfig{Layers: MaxTasks/4 + 1, Width: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ScheduleOptimal(big, Complete(4))
+	if err == nil || !strings.Contains(err.Error(), fmt.Sprint(MaxTasks)) {
+		t.Fatalf("oversize solve error = %v; want the %d-node cap named", err, MaxTasks)
 	}
 }
