@@ -6,7 +6,8 @@
 //	icpp98 engines                                  # list the engine registry
 //	icpp98 schedule -engine astar -procs ring:3 g.tg # optimal schedule + Gantt
 //	icpp98 schedule -engine aeps -eps 0.2 g.tg      # bounded-suboptimal
-//	icpp98 schedule -engine parallel -ppes 4 g.tg   # parallel A*
+//	icpp98 schedule -engine parallel -ppes 4 g.tg   # parallel A* (Paragon model)
+//	icpp98 schedule -engine native -workers 4 g.tg  # multi-core work-stealing A*
 //	icpp98 schedule -engine dfbb g.tg               # depth-first B&B (low memory)
 //	icpp98 schedule -engine bnb g.tg                # Chen & Yu baseline
 //	icpp98 schedule -engine astar,dfbb,bnb g.tg     # portfolio race of engines
@@ -197,6 +198,7 @@ func cmdSchedule(args []string) {
 	procs := fs.String("procs", "", "target system, e.g. complete:8, ring:3, mesh:2x4 (default complete:V)")
 	eps := fs.Float64("eps", 0.2, "ε for the aeps engine")
 	ppesN := fs.Int("ppes", 4, "PPEs for the parallel engine")
+	workersN := fs.Int("workers", 0, "workers for the native engine (0 = one per core)")
 	budget := fs.Int64("budget", 0, "expansion budget (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = none)")
 	noPrune := fs.Bool("no-pruning", false, "disable the §3.2 prunings")
@@ -215,6 +217,7 @@ func cmdSchedule(args []string) {
 		MaxExpanded: *budget,
 		Timeout:     *timeout,
 		PPEs:        *ppesN,
+		Workers:     *workersN,
 	}
 	if *hplus {
 		cfg.HFunc = core.HPlus

@@ -9,12 +9,23 @@
 //	icpp98bench -experiment deviation         # list heuristics vs proven optima
 //	icpp98bench -experiment engines           # every registry engine head-to-head
 //	icpp98bench -experiment large             # v > 64: Aε*/portfolio at 80/128/256
+//	icpp98bench -experiment speedup           # native engine: real multi-core scaling
 //	icpp98bench -experiment all               # everything
 //
 // The default configuration trims the sweep to laptop-scale sizes; -full
 // runs the paper's 10..32 sizes (expect censored cells unless -budget and
 // -timeout are raised substantially — the original Table 1 cells took up to
 // days on the Intel Paragon).
+//
+// -out controls where every output lands. With a file path, tables go to
+// that file and -json reports go to BENCH_<experiment>.json in the same
+// directory; with a directory (existing, or any path ending in a path
+// separator), tables go to <dir>/BENCH_<experiment>.md (or .csv) and JSON to
+// <dir>/BENCH_<experiment>.json; with os.DevNull everything is discarded.
+// The speedup experiment doubles as a determinism gate: if any native-engine
+// cell disagrees with serial A* on the optimum (or reports a BoundFactor
+// other than 1 for a proven cell), the process exits non-zero after writing
+// the reports.
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -32,10 +44,10 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | ablation | distribution | deviation | engines | large | all")
-		sizes      = flag.String("sizes", "", "comma-separated graph sizes (default 10,12,14,16)")
+		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | ablation | distribution | deviation | engines | large | speedup | all")
+		sizes      = flag.String("sizes", "", "comma-separated graph sizes (default 10,12,14,16; speedup: 80,128)")
 		ccrs       = flag.String("ccrs", "", "comma-separated CCRs (default 0.1,1,10)")
-		ppes       = flag.String("ppes", "", "comma-separated PPE counts for fig6 (default 2,4,8,16)")
+		ppes       = flag.String("ppes", "", "comma-separated PPE/worker counts for fig6 and speedup (default 2,4,8,16; speedup: 1,2,4,8)")
 		epsilons   = flag.String("epsilons", "", "comma-separated ε for fig7 (default 0.2,0.5)")
 		fig7ppes   = flag.Int("fig7ppes", 16, "PPE count for fig7 (paper: 16)")
 		seed       = flag.Uint64("seed", 1998, "workload seed")
@@ -44,8 +56,8 @@ func main() {
 		floor      = flag.Int("floor", 2, "parallel communication-period floor (paper: 2)")
 		full       = flag.Bool("full", false, "run the paper's full 10..32 size sweep")
 		format     = flag.String("format", "md", "output format: md | csv")
-		out        = flag.String("out", "", "output file (default stdout)")
-		jsonOut    = flag.Bool("json", false, "also write a machine-readable BENCH_<experiment>.json per experiment")
+		out        = flag.String("out", "", "output path: a file for the tables, or a directory for per-experiment files; controls where -json reports land (default: stdout + CWD)")
+		jsonOut    = flag.Bool("json", false, "also write a machine-readable BENCH_<experiment>.json per experiment (next to -out)")
 		procs      = flag.Int("procs", 0, "target PEs per instance (0 = v, the paper's setting)")
 	)
 	flag.Parse()
@@ -77,16 +89,13 @@ func main() {
 		cfg.TargetProcs = func(int) *procgraph.System { return procgraph.Complete(p) }
 	}
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w = f
+	plan, err := newOutputPlan(*out, *format)
+	if err != nil {
+		fatal(err)
 	}
+	defer plan.Close()
 
+	var gateFailures []string
 	run := func(name string) {
 		started := time.Now()
 		fmt.Fprintf(os.Stderr, "running %s...\n", name)
@@ -108,37 +117,145 @@ func main() {
 			res = bench.RunEngines(cfg)
 		case "large":
 			res = bench.RunLarge(cfg)
+		case "speedup":
+			res = bench.RunSpeedup(cfg)
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+		w, closeTable, err := plan.tableWriter(name)
+		if err != nil {
+			fatal(err)
 		}
 		if err := res.Write(w, *format); err != nil {
 			fatal(err)
 		}
+		if err := closeTable(); err != nil {
+			fatal(err)
+		}
 		if *jsonOut {
-			path := "BENCH_" + name + ".json"
-			f, err := os.Create(path)
-			if err != nil {
-				fatal(err)
+			if path, ok := plan.jsonPath(name); ok {
+				f, err := os.Create(path)
+				if err != nil {
+					fatal(err)
+				}
+				if err := bench.WriteJSON(f, name, res); err != nil {
+					f.Close()
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 			}
-			if err := bench.WriteJSON(f, name, res); err != nil {
-				f.Close()
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		// Experiments with a built-in correctness gate (speedup's native-vs-
+		// serial determinism check) fail the whole process after reporting.
+		if g, ok := res.(interface{ FailureList() []string }); ok {
+			gateFailures = append(gateFailures, g.FailureList()...)
 		}
 		fmt.Fprintf(os.Stderr, "%s done in %v\n", name, time.Since(started).Round(time.Millisecond))
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "ablation", "distribution", "deviation", "engines", "large"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "ablation", "distribution", "deviation", "engines", "large", "speedup"} {
 			run(name)
 		}
-		return
+	} else {
+		run(*experiment)
 	}
-	run(*experiment)
+	if len(gateFailures) > 0 {
+		for _, f := range gateFailures {
+			fmt.Fprintln(os.Stderr, "icpp98bench: GATE FAILURE:", f)
+		}
+		plan.Close()
+		os.Exit(1)
+	}
+}
+
+// outputPlan resolves the -out flag into per-experiment table writers and
+// JSON report paths, so -out controls where *every* artifact lands:
+//
+//   - "" (unset): tables to stdout, JSON to BENCH_<name>.json in the CWD;
+//   - os.DevNull: everything is discarded (nothing touches the CWD);
+//   - an existing directory, or any path with a trailing separator (created
+//     if missing): tables to <dir>/BENCH_<name>.md (or .csv), JSON to
+//     <dir>/BENCH_<name>.json;
+//   - anything else: one shared table file, JSON next to it.
+type outputPlan struct {
+	mode   string // "stdout" | "discard" | "dir" | "file"
+	dir    string // JSON/table directory for "dir" and "file"
+	format string
+	file   *os.File // the shared table file of "file" mode
+}
+
+func newOutputPlan(out, format string) (*outputPlan, error) {
+	switch {
+	case out == "":
+		return &outputPlan{mode: "stdout", format: format}, nil
+	case out == os.DevNull:
+		return &outputPlan{mode: "discard", format: format}, nil
+	}
+	if strings.HasSuffix(out, string(os.PathSeparator)) || strings.HasSuffix(out, "/") {
+		if err := os.MkdirAll(out, 0o777); err != nil {
+			return nil, err
+		}
+		return &outputPlan{mode: "dir", dir: filepath.Clean(out), format: format}, nil
+	}
+	if st, err := os.Stat(out); err == nil && st.IsDir() {
+		return &outputPlan{mode: "dir", dir: filepath.Clean(out), format: format}, nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return nil, err
+	}
+	return &outputPlan{mode: "file", dir: filepath.Dir(out), format: format, file: f}, nil
+}
+
+// tableWriter returns the destination for one experiment's tables plus a
+// close func (a no-op for shared destinations).
+func (p *outputPlan) tableWriter(name string) (io.Writer, func() error, error) {
+	noop := func() error { return nil }
+	switch p.mode {
+	case "stdout":
+		return os.Stdout, noop, nil
+	case "discard":
+		return io.Discard, noop, nil
+	case "file":
+		return p.file, noop, nil
+	default: // dir
+		ext := "md"
+		if p.format == "csv" {
+			ext = "csv"
+		}
+		f, err := os.Create(filepath.Join(p.dir, "BENCH_"+name+"."+ext))
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, f.Close, nil
+	}
+}
+
+// jsonPath returns where the experiment's JSON report goes; ok is false
+// when JSON output is discarded.
+func (p *outputPlan) jsonPath(name string) (string, bool) {
+	switch p.mode {
+	case "stdout":
+		return "BENCH_" + name + ".json", true
+	case "discard":
+		return "", false
+	default: // dir, file
+		return filepath.Join(p.dir, "BENCH_"+name+".json"), true
+	}
+}
+
+// Close releases the shared table file, if any.
+func (p *outputPlan) Close() error {
+	if p.file != nil {
+		err := p.file.Close()
+		p.file = nil
+		return err
+	}
+	return nil
 }
 
 func parseInts(s string) []int {

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"runtime"
 	"time"
 )
 
@@ -34,6 +35,33 @@ type EngineRecord struct {
 	Optimal        bool    `json:"optimal"`
 }
 
+// SpeedupRecord is one machine-readable measurement of the speedup
+// experiment: the native engine at one worker count on one instance, with
+// its self-relative ratios. Wall-clock numbers are only comparable within
+// one host — the Host block records which.
+type SpeedupRecord struct {
+	V              int     `json:"v"`
+	Workers        int     `json:"workers"`
+	Mode           string  `json:"mode"` // "dive" (proof) | "budget" (fixed work)
+	WallMS         float64 `json:"wall_ms"`
+	Expanded       int64   `json:"expanded"`
+	ExpandedPerSec float64 `json:"expanded_per_sec"`
+	Makespan       int32   `json:"makespan"`
+	Optimal        bool    `json:"optimal"`
+	BoundFactor    float64 `json:"bound_factor"`
+	WallSpeedup    float64 `json:"wall_speedup"`
+	RateSpeedup    float64 `json:"rate_speedup"`
+	ModeledSpeedup float64 `json:"modeled_speedup,omitempty"`
+}
+
+// HostInfo pins wall-clock measurements to the machine that produced them.
+type HostInfo struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+}
+
 // TableJSON is the generic export of one rendered table.
 type TableJSON struct {
 	Title  string     `json:"title"`
@@ -47,9 +75,12 @@ type JSONReport struct {
 	Experiment string `json:"experiment"`
 	// GeneratedAt is RFC 3339 UTC, so consecutive reports sort by name
 	// and diff by time.
-	GeneratedAt string         `json:"generated_at"`
-	Engines     []EngineRecord `json:"engines,omitempty"`
-	Tables      []TableJSON    `json:"tables"`
+	GeneratedAt string          `json:"generated_at"`
+	Host        *HostInfo       `json:"host,omitempty"`
+	Engines     []EngineRecord  `json:"engines,omitempty"`
+	Speedup     []SpeedupRecord `json:"speedup,omitempty"`
+	Failures    []string        `json:"failures,omitempty"`
+	Tables      []TableJSON     `json:"tables"`
 }
 
 // Records derives the per-engine measurements of the engines experiment,
@@ -75,6 +106,31 @@ func (r *EnginesResult) Records() []EngineRecord {
 	return out
 }
 
+// Records derives the per-cell measurements of the speedup experiment.
+func (r *SpeedupResult) Records() []SpeedupRecord {
+	out := make([]SpeedupRecord, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rec := SpeedupRecord{
+			V:              row.V,
+			Workers:        row.Workers,
+			Mode:           row.Mode,
+			WallMS:         float64(row.Time.Microseconds()) / 1000,
+			Expanded:       row.Expanded,
+			Makespan:       row.Length,
+			Optimal:        row.Optimal,
+			BoundFactor:    row.Bound,
+			WallSpeedup:    row.WallSpeedup,
+			RateSpeedup:    row.RateSpeedup,
+			ModeledSpeedup: row.Modeled,
+		}
+		if row.Time > 0 {
+			rec.ExpandedPerSec = float64(row.Expanded) / row.Time.Seconds()
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
 // WriteJSON writes the machine-readable report of one experiment run.
 func WriteJSON(w io.Writer, name string, r Result) error {
 	rep := JSONReport{
@@ -83,6 +139,16 @@ func WriteJSON(w io.Writer, name string, r Result) error {
 	}
 	if er, ok := r.(*EnginesResult); ok {
 		rep.Engines = er.Records()
+	}
+	if sr, ok := r.(*SpeedupResult); ok {
+		rep.Speedup = sr.Records()
+		rep.Failures = sr.Failures
+		rep.Host = &HostInfo{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+		}
 	}
 	for _, t := range r.Tables() {
 		rep.Tables = append(rep.Tables, TableJSON{

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/procgraph"
+)
+
+// searchStates drives a real serial search and returns every distinct state
+// it generated — the workload both SharedVisited tests dedup.
+func searchStates(t *testing.T, minStates int) []*State {
+	t.Helper()
+	g := gen.MustRandom(gen.RandomConfig{V: 16, CCR: 1.0, Seed: 3})
+	m, err := NewModel(g, procgraph.Complete(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	exp := m.NewExpander(Options{Disable: DisableUpperBound}, &stats)
+	vt := NewVisited()
+	open := NewBestFirstQueue()
+	var all []*State
+	emit := func(c *State) {
+		if !c.Complete(m) {
+			open.Push(c)
+		}
+		all = append(all, c)
+	}
+	exp.Expand(Root(), vt, emit)
+	for open.Len() > 0 && len(all) < minStates {
+		exp.Expand(open.Pop(), vt, emit)
+	}
+	if len(all) < minStates {
+		t.Fatalf("search too small: %d states", len(all))
+	}
+	return all
+}
+
+// TestSharedVisitedOracle feeds the same distinct-state stream to the serial
+// table and the sharded one: both must accept every distinct state once and
+// reject every re-insertion, growing shards well past their initial size.
+func TestSharedVisitedOracle(t *testing.T) {
+	all := searchStates(t, 4*sharedShardMinSize)
+	vt := NewSharedVisited(4)
+	for _, s := range all {
+		if !vt.Add(s) {
+			t.Fatal("distinct state rejected on first insertion")
+		}
+	}
+	if vt.Len() != len(all) {
+		t.Fatalf("table has %d entries; %d distinct states inserted", vt.Len(), len(all))
+	}
+	for _, s := range all {
+		if vt.Add(s) {
+			t.Fatal("re-adding a recorded state was accepted as new")
+		}
+	}
+	if vt.Hits() != int64(len(all)) {
+		t.Fatalf("Hits %d, want %d", vt.Hits(), len(all))
+	}
+}
+
+// TestSharedVisitedConcurrent inserts the same state stream from several
+// goroutines at once (each state contended by every goroutine): exactly one
+// insert per state may win, and the table must end up with exactly the
+// distinct set. Run under -race this also proves the locking discipline.
+func TestSharedVisitedConcurrent(t *testing.T) {
+	all := searchStates(t, 2*sharedShardMinSize)
+	const workers = 8
+	vt := NewSharedVisited(0)
+	wins := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, s := range all {
+				if vt.Add(s) {
+					wins[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, n := range wins {
+		total += n
+	}
+	if total != int64(len(all)) {
+		t.Fatalf("%d wins across workers for %d distinct states", total, len(all))
+	}
+	if vt.Len() != len(all) {
+		t.Fatalf("table has %d entries, want %d", vt.Len(), len(all))
+	}
+	if vt.Hits() != int64((workers-1)*len(all)) {
+		t.Fatalf("Hits %d, want %d", vt.Hits(), (workers-1)*len(all))
+	}
+}

@@ -187,46 +187,63 @@ func NewVisited() *Visited {
 	return &Visited{entries: make([]visEntry, visitedMinSize)}
 }
 
-// Add inserts s unless an identical partial schedule is already present; it
-// reports whether s was new.
-func (vt *Visited) Add(s *State) bool {
-	if vt.n*4 >= len(vt.entries)*3 {
-		vt.grow()
-	}
-	idx := int(s.sig) & (len(vt.entries) - 1)
+// visInsert is the one probe-and-insert implementation every visited table
+// (serial Visited, the sharded SharedVisited) shares: it walks the linear
+// probe sequence of s's signature, inserts s into the first empty slot
+// unless an identical partial schedule is already stored, and reports
+// whether s was inserted plus how many 64-bit hash collisions the exact
+// comparison caught along the way. Keeping the identity comparison (sig,
+// mask, g, depth, then sameAssignment) in one place guarantees the serial
+// and concurrent engines can never disagree on what "duplicate" means.
+func visInsert(entries []visEntry, s *State) (inserted bool, collisions int64) {
+	idx := int(s.sig) & (len(entries) - 1)
 	for {
-		e := &vt.entries[idx]
+		e := &entries[idx]
 		if e.st == nil {
 			*e = visEntry{st: s, sig: s.sig, mask: s.mask, g: s.g, depth: s.depth}
-			vt.n++
-			return true
+			return true, collisions
 		}
 		if e.sig == s.sig {
 			if e.mask == s.mask && e.g == s.g && e.depth == s.depth && sameAssignment(s, e.st) {
-				vt.Hits++
-				return false
+				return false, collisions
 			}
-			vt.Collisions++
+			collisions++
 		}
-		idx = (idx + 1) & (len(vt.entries) - 1)
+		idx = (idx + 1) & (len(entries) - 1)
 	}
 }
 
-// grow doubles the table and reinserts every entry.
-func (vt *Visited) grow() {
-	old := vt.entries
-	vt.entries = make([]visEntry, len(old)*2)
+// visGrow returns a doubled table with every occupied entry reinserted.
+func visGrow(old []visEntry) []visEntry {
+	grown := make([]visEntry, len(old)*2)
 	for i := range old {
 		e := &old[i]
 		if e.st == nil {
 			continue
 		}
-		idx := int(e.sig) & (len(vt.entries) - 1)
-		for vt.entries[idx].st != nil {
-			idx = (idx + 1) & (len(vt.entries) - 1)
+		idx := int(e.sig) & (len(grown) - 1)
+		for grown[idx].st != nil {
+			idx = (idx + 1) & (len(grown) - 1)
 		}
-		vt.entries[idx] = *e
+		grown[idx] = *e
 	}
+	return grown
+}
+
+// Add inserts s unless an identical partial schedule is already present; it
+// reports whether s was new.
+func (vt *Visited) Add(s *State) bool {
+	if vt.n*4 >= len(vt.entries)*3 {
+		vt.entries = visGrow(vt.entries)
+	}
+	inserted, collisions := visInsert(vt.entries, s)
+	vt.Collisions += collisions
+	if inserted {
+		vt.n++
+		return true
+	}
+	vt.Hits++
+	return false
 }
 
 // Len returns the number of distinct states recorded.

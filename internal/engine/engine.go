@@ -90,6 +90,9 @@ type Config struct {
 
 	// PPEs is the parallel engine's worker count (0 selects 4).
 	PPEs int
+	// Workers is the native engine's worker count (0 selects GOMAXPROCS —
+	// one worker per schedulable core; the engine clamps excessive values).
+	Workers int
 	// Interconnect is the parallel engine's PPE topology (nil selects a
 	// near-square mesh).
 	Interconnect *procgraph.System

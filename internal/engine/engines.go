@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfbb"
 	"repro/internal/listsched"
+	"repro/internal/native"
 	"repro/internal/parallel"
 )
 
@@ -36,6 +37,20 @@ func coreOptions(ctx context.Context, cfg Config) core.Options {
 		UpperBound: cfg.UpperBound,
 		Tracer:     cfg.Tracer,
 		Stop:       cfg.stopFunc(ctx),
+	}
+}
+
+// nativeOptions translates the unified Config into the work-stealing
+// engine's options, wiring in the shared budget checker.
+func nativeOptions(ctx context.Context, cfg Config) native.Options {
+	return native.Options{
+		Workers:    cfg.Workers,
+		Epsilon:    cfg.Epsilon,
+		Disable:    cfg.Disable,
+		HFunc:      cfg.HFunc,
+		UpperBound: cfg.UpperBound,
+		Stop:       cfg.stopFunc(ctx),
+		TracerFor:  cfg.TracerFor,
 	}
 }
 
@@ -117,6 +132,28 @@ func init() {
 				res.Schedule, res.Length, res.Optimal, res.BoundFactor = s, s.Length, false, 0
 			}
 			return res, nil
+		},
+	})
+	Register(&funcEngine{
+		name:    "native",
+		section: "§4.4 (multi-core)",
+		desc:    "work-stealing multi-core A*: optimal, global sharded dedup, scales with real cores",
+		solve: func(ctx context.Context, m *core.Model, cfg Config) (*core.Result, error) {
+			opt := nativeOptions(ctx, cfg)
+			opt.Epsilon = 0 // exact search; "native-eps" is the ε variant
+			return native.Solve(m, opt)
+		},
+	})
+	Register(&funcEngine{
+		name:    "native-eps",
+		section: "§4.4 (multi-core)",
+		desc:    "work-stealing multi-core Aε*: within (1+ε) of optimal (default ε 0.2)",
+		solve: func(ctx context.Context, m *core.Model, cfg Config) (*core.Result, error) {
+			opt := nativeOptions(ctx, cfg)
+			if opt.Epsilon <= 0 {
+				opt.Epsilon = 0.2
+			}
+			return native.Solve(m, opt)
 		},
 	})
 	Register(&funcEngine{

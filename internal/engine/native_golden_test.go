@@ -1,0 +1,84 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/procgraph"
+)
+
+// goldenCell is one instance of the golden corpus: a §4.1 random graph on a
+// small target system.
+type goldenCell struct {
+	v    int
+	seed uint64
+	ccr  float64
+	sys  *procgraph.System
+}
+
+// goldenCorpus is the 275-cell corpus the native engine is pinned against:
+// 5 sizes × 11 seeds × 5 (CCR, topology) environments, all small enough
+// that serial A* proves every optimum quickly but collectively covering
+// homogeneous/constrained topologies and the full CCR range of §4.1.
+func goldenCorpus() []goldenCell {
+	envs := []struct {
+		ccr float64
+		sys *procgraph.System
+	}{
+		{0.5, procgraph.Complete(3)},
+		{1.0, procgraph.Complete(3)},
+		{1.0, procgraph.Ring(2)},
+		{2.0, procgraph.Star(3)},
+		{10.0, procgraph.Complete(2)},
+	}
+	var cells []goldenCell
+	for _, v := range []int{5, 6, 7, 8, 9} {
+		for seed := uint64(1); seed <= 11; seed++ {
+			for _, env := range envs {
+				cells = append(cells, goldenCell{v: v, seed: seed, ccr: env.ccr, sys: env.sys})
+			}
+		}
+	}
+	return cells
+}
+
+// TestNativeGoldenCorpus pins the native engine, at one worker and at four,
+// to the serial A* across the whole golden corpus: identical makespan on
+// every cell, the Optimal flag set, and BoundFactor exactly 1. This is the
+// determinism contract of the work-stealing engine — thread scheduling may
+// reorder the search, never change the proven optimum.
+func TestNativeGoldenCorpus(t *testing.T) {
+	cells := goldenCorpus()
+	if len(cells) != 275 {
+		t.Fatalf("golden corpus has %d cells, want 275", len(cells))
+	}
+	for _, c := range cells {
+		g := gen.MustRandom(gen.RandomConfig{V: c.v, CCR: c.ccr, Seed: c.seed})
+		name := fmt.Sprintf("v=%d seed=%d ccr=%g %s", c.v, c.seed, c.ccr, c.sys.Name())
+		ref, err := engine.Solve(context.Background(), "astar", g, c.sys, engine.Config{})
+		if err != nil {
+			t.Fatalf("%s: astar: %v", name, err)
+		}
+		if !ref.Optimal {
+			t.Fatalf("%s: astar did not prove optimality", name)
+		}
+		for _, workers := range []int{1, 4} {
+			res, err := engine.Solve(context.Background(), "native", g, c.sys, engine.Config{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s w=%d: %v", name, workers, err)
+			}
+			if res.Length != ref.Length {
+				t.Errorf("%s w=%d: makespan %d, serial optimum %d", name, workers, res.Length, ref.Length)
+			}
+			if !res.Optimal {
+				t.Errorf("%s w=%d: Optimal flag not set", name, workers)
+			}
+			if res.BoundFactor != 1 {
+				t.Errorf("%s w=%d: BoundFactor %g, want exactly 1", name, workers, res.BoundFactor)
+			}
+		}
+	}
+}

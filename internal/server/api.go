@@ -55,6 +55,9 @@ type JobConfig struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// PPEs sets the parallel engine's worker count (0 selects its default).
 	PPEs int `json:"ppes,omitempty"`
+	// Workers sets the native engine's worker count (0 selects one worker
+	// per core on the solving host).
+	Workers int `json:"workers,omitempty"`
 	// NoPruning disables the §3.2 prunings (ablation runs).
 	NoPruning bool `json:"no_pruning,omitempty"`
 	// HPlus selects the strengthened admissible heuristic — the practical
@@ -71,6 +74,7 @@ func (c JobConfig) EngineConfig() engine.Config {
 		Epsilon:     c.Epsilon,
 		MaxExpanded: c.MaxExpanded,
 		PPEs:        c.PPEs,
+		Workers:     c.Workers,
 	}
 	if c.TimeoutMS > 0 {
 		cfg.Timeout = time.Duration(c.TimeoutMS) * time.Millisecond

@@ -241,6 +241,37 @@ func TestSubmitJSONGraphAndSystemObject(t *testing.T) {
 	}
 }
 
+// TestNativeEngineJob drives the multi-core work-stealing engine through
+// the job API with an explicit workers count and pins the proven optimum:
+// the wire `workers` knob must reach native.Options and the result must
+// carry the exact certificate (BoundFactor 1).
+func TestNativeEngineJob(t *testing.T) {
+	_, base := newTestServer(t, Config{})
+	sub := postJob(t, base, SubmitRequest{
+		GraphText: paperText(t),
+		System:    json.RawMessage(`"ring:3"`),
+		Engine:    "native",
+		Config:    JobConfig{Workers: 2},
+	})
+	st := waitTerminal(t, base, sub.ID)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (error %q), want done", st.State, st.Error)
+	}
+	resp, err := http.Get(base + "/v1/jobs/" + sub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != "native" || !res.Optimal || res.Length != 14 || res.BoundFactor != 1 {
+		t.Fatalf("result = engine %s length %d optimal %v bound %g, want native/14/true/1",
+			res.Engine, res.Length, res.Optimal, res.BoundFactor)
+	}
+}
+
 // TestPortfolioSubmit races three engines through the daemon and checks
 // the winner's schedule plus the losers' partial stats.
 func TestPortfolioSubmit(t *testing.T) {
