@@ -203,6 +203,8 @@ func cmdSchedule(args []string) {
 	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = none)")
 	noPrune := fs.Bool("no-pruning", false, "disable the §3.2 prunings")
 	hplus := fs.Bool("hplus", false, "use the strengthened admissible heuristic (recommended for v > 64)")
+	hfunc := fs.String("hfunc", "", "heuristic tier: paper | plus | load (overrides -hplus)")
+	disableList := fs.String("disable", "", "comma list of prunings to switch off: iso | equivalence | equivalent-tasks | fto | upper-bound | priority-order | duplicate-check | all")
 	gantt := fs.Bool("gantt", true, "print the Gantt chart")
 	fs.Parse(args)
 	g := loadGraph(fs.Args())
@@ -211,6 +213,16 @@ func cmdSchedule(args []string) {
 	var disable core.Disable
 	if *noPrune {
 		disable = core.DisableAllPruning
+	}
+	for _, name := range strings.Split(*disableList, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		d, ok := core.DisableByName(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown pruning name %q in -disable", name))
+		}
+		disable |= d
 	}
 	cfg := engine.Config{
 		Disable:     disable,
@@ -221,6 +233,13 @@ func cmdSchedule(args []string) {
 	}
 	if *hplus {
 		cfg.HFunc = core.HPlus
+	}
+	if *hfunc != "" {
+		h, ok := core.HFuncByName(*hfunc)
+		if !ok {
+			fatal(fmt.Errorf("unknown heuristic tier %q in -hfunc", *hfunc))
+		}
+		cfg.HFunc = h
 	}
 
 	// Resolve what to run: -engine wins; -algo keeps the heuristics and
@@ -311,6 +330,9 @@ func cmdSchedule(args []string) {
 	if stats.Expanded > 0 {
 		fmt.Printf("states: expanded=%d generated=%d duplicates=%d max-open=%d\n",
 			stats.Expanded, stats.Generated, stats.Duplicates, stats.MaxOpen)
+	}
+	if stats.PrunedEquiv > 0 || stats.PrunedFTO > 0 {
+		fmt.Printf("pruned: equiv=%d fto=%d\n", stats.PrunedEquiv, stats.PrunedFTO)
 	}
 	fmt.Println()
 	fmt.Print(s.Table())

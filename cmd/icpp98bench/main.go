@@ -5,6 +5,7 @@
 //	icpp98bench -experiment fig6              # Figure 6: parallel A* speedups
 //	icpp98bench -experiment fig7              # Figure 7: parallel Aε* quality/time
 //	icpp98bench -experiment ablation          # per-pruning + heuristic ablation
+//	icpp98bench -experiment pruning           # equivalent-task/FTO/HLoad ablation + gate
 //	icpp98bench -experiment distribution      # parallel placement-policy ablation
 //	icpp98bench -experiment deviation         # list heuristics vs proven optima
 //	icpp98bench -experiment engines           # every registry engine head-to-head
@@ -44,7 +45,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | ablation | distribution | deviation | engines | large | speedup | all")
+		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | ablation | pruning | distribution | deviation | engines | large | speedup | all")
 		sizes      = flag.String("sizes", "", "comma-separated graph sizes (default 10,12,14,16; speedup: 80,128)")
 		ccrs       = flag.String("ccrs", "", "comma-separated CCRs (default 0.1,1,10)")
 		ppes       = flag.String("ppes", "", "comma-separated PPE/worker counts for fig6 and speedup (default 2,4,8,16; speedup: 1,2,4,8)")
@@ -109,6 +110,8 @@ func main() {
 			res = bench.RunFig7(cfg)
 		case "ablation":
 			res = bench.RunAblation(cfg)
+		case "pruning":
+			res = bench.RunPruning(cfg)
 		case "distribution":
 			res = bench.RunDistribution(cfg)
 		case "deviation":
@@ -157,7 +160,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "ablation", "distribution", "deviation", "engines", "large", "speedup"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "ablation", "pruning", "distribution", "deviation", "engines", "large", "speedup"} {
 			run(name)
 		}
 	} else {

@@ -42,10 +42,13 @@ func serialVariants() []struct {
 		{"full", engine.Config{}},
 		{"no-isomorphism", engine.Config{Disable: core.DisableIsomorphism}},
 		{"no-equivalence", engine.Config{Disable: core.DisableEquivalence}},
+		{"no-equiv-tasks", engine.Config{Disable: core.DisableEquivalentTasks}},
+		{"no-fto", engine.Config{Disable: core.DisableFTO}},
 		{"no-upper-bound", engine.Config{Disable: core.DisableUpperBound}},
 		{"no-priority-order", engine.Config{Disable: core.DisablePriorityOrder}},
 		{"no-pruning (A* full)", engine.Config{Disable: core.DisableAllPruning}},
 		{"hplus", engine.Config{HFunc: core.HPlus}},
+		{"hload", engine.Config{HFunc: core.HLoad}},
 	}
 }
 

@@ -54,6 +54,24 @@ type SpeedupRecord struct {
 	ModeledSpeedup float64 `json:"modeled_speedup,omitempty"`
 }
 
+// PruningRecord is one machine-readable measurement of the pruning
+// ablation: a variant on a corpus cell, with the pruning counters and the
+// expansion ratio against that cell's baseline variant.
+type PruningRecord struct {
+	Cell           string  `json:"cell"`
+	V              int     `json:"v"`
+	System         string  `json:"system"`
+	Variant        string  `json:"variant"`
+	WallMS         float64 `json:"wall_ms"`
+	Expanded       int64   `json:"expanded"`
+	BaselineRatio  float64 `json:"baseline_ratio,omitempty"` // baseline expansions / this variant's
+	PrunedEquiv    int64   `json:"pruned_equiv"`
+	PrunedFTO      int64   `json:"pruned_fto"`
+	Makespan       int32   `json:"makespan"`
+	Optimal        bool    `json:"optimal"`
+	ExpandedPerSec float64 `json:"expanded_per_sec,omitempty"`
+}
+
 // HostInfo pins wall-clock measurements to the machine that produced them.
 type HostInfo struct {
 	GOOS       string `json:"goos"`
@@ -79,6 +97,7 @@ type JSONReport struct {
 	Host        *HostInfo       `json:"host,omitempty"`
 	Engines     []EngineRecord  `json:"engines,omitempty"`
 	Speedup     []SpeedupRecord `json:"speedup,omitempty"`
+	Pruning     []PruningRecord `json:"pruning,omitempty"`
 	Failures    []string        `json:"failures,omitempty"`
 	Tables      []TableJSON     `json:"tables"`
 }
@@ -131,6 +150,41 @@ func (r *SpeedupResult) Records() []SpeedupRecord {
 	return out
 }
 
+// Records derives the per-(cell, variant) measurements of the pruning
+// ablation, including each variant's expansion ratio against its cell's
+// baseline.
+func (r *PruningResult) Records() []PruningRecord {
+	baseline := map[string]int64{}
+	for _, row := range r.Rows {
+		if row.Variant == "baseline" {
+			baseline[row.Cell] = row.Expanded
+		}
+	}
+	out := make([]PruningRecord, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rec := PruningRecord{
+			Cell:        row.Cell,
+			V:           row.V,
+			System:      row.System,
+			Variant:     row.Variant,
+			WallMS:      float64(row.Time.Microseconds()) / 1000,
+			Expanded:    row.Expanded,
+			PrunedEquiv: row.PrunedEquiv,
+			PrunedFTO:   row.PrunedFTO,
+			Makespan:    row.Length,
+			Optimal:     row.Optimal,
+		}
+		if b := baseline[row.Cell]; b > 0 && row.Expanded > 0 && row.Variant != "baseline" {
+			rec.BaselineRatio = float64(b) / float64(row.Expanded)
+		}
+		if row.Time > 0 {
+			rec.ExpandedPerSec = float64(row.Expanded) / row.Time.Seconds()
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
 // WriteJSON writes the machine-readable report of one experiment run.
 func WriteJSON(w io.Writer, name string, r Result) error {
 	rep := JSONReport{
@@ -149,6 +203,10 @@ func WriteJSON(w io.Writer, name string, r Result) error {
 			NumCPU:     runtime.NumCPU(),
 			GoMaxProcs: runtime.GOMAXPROCS(0),
 		}
+	}
+	if pr, ok := r.(*PruningResult); ok {
+		rep.Pruning = pr.Records()
+		rep.Failures = pr.Failures
 	}
 	for _, t := range r.Tables() {
 		rep.Tables = append(rep.Tables, TableJSON{

@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/procgraph"
+	"repro/internal/taskgraph"
+)
+
+// This file is the pruning-ablation experiment of the equivalent-task /
+// fixed-task-order / HLoad overhaul: serial A* on a fixed corpus of shapes
+// those prunings target (joins, fork-joins, layered DAGs with and without
+// communication costs), measured as expansion-count and wall-time deltas
+// against the pre-overhaul configuration. It doubles as a correctness gate:
+// every variant is an exact search, so all proven-optimal variants of one
+// cell must agree on the makespan, the new prunings must actually fire, and
+// at least one layered-STG cell must show the headline >= 2x expansion
+// reduction — FailureList reports violations and cmd/icpp98bench exits
+// non-zero on them.
+
+// PruningRow is one (cell, variant) measurement.
+type PruningRow struct {
+	Cell        string
+	V           int
+	System      string
+	Variant     string
+	Time        time.Duration
+	Expanded    int64
+	PrunedEquiv int64
+	PrunedFTO   int64
+	Length      int32
+	Optimal     bool
+}
+
+// PruningResult reports the pruning ablation.
+type PruningResult struct {
+	Rows   []PruningRow
+	Config Config
+	// Failures lists correctness-gate violations (see file comment).
+	Failures []string
+}
+
+// FailureList exposes the gate result to cmd/icpp98bench.
+func (r *PruningResult) FailureList() []string { return r.Failures }
+
+// pruningBaseline is the pre-overhaul serial configuration: the paper's
+// §3.2 prunings with the paper's heuristic, the new prunings off.
+var pruningBaseline = core.DisableEquivalentTasks | core.DisableFTO
+
+// pruningVariants enumerates the ablated configurations. "baseline" is the
+// reference every delta is measured against; the "no-*" variants each
+// switch one technique off with the rest of the overhaul on; "all-hload"
+// is the full overhaul including the strongest bound family.
+func pruningVariants() []struct {
+	Name string
+	Cfg  engine.Config
+} {
+	return []struct {
+		Name string
+		Cfg  engine.Config
+	}{
+		{"baseline", engine.Config{Disable: pruningBaseline}},
+		{"all", engine.Config{}},
+		{"no-iso", engine.Config{Disable: core.DisableIsomorphism}},
+		{"no-equiv", engine.Config{Disable: core.DisableEquivalentTasks}},
+		{"no-fto", engine.Config{Disable: core.DisableFTO}},
+		{"all-hload", engine.Config{HFunc: core.HLoad}},
+	}
+}
+
+// pruningCell is one instance of the fixed corpus.
+type pruningCell struct {
+	name string
+	g    *taskgraph.Graph
+	sys  *procgraph.System
+	// layeredSTG marks the cells eligible for the >= 2x headline check.
+	layeredSTG bool
+}
+
+// pruningCells builds the corpus. The shapes are chosen for the prunings,
+// not the prunings for the shapes: joins and width-1 fork-joins are the
+// canonical FTO/equivalent-task structures, the layered cells are the
+// repository's standard workload in both the zero-communication STG form
+// and the communication-cost form.
+func pruningCells(seed uint64) ([]pruningCell, error) {
+	var cells []pruningCell
+
+	// A join with distinct weights and comm costs: the forced order is
+	// non-trivial (descending out-edge cost), so the FTO collapse replaces
+	// 5! source orderings with one.
+	bld := taskgraph.NewBuilder("join6")
+	sink := bld.AddNode(3)
+	for i := 0; i < 5; i++ {
+		src := bld.AddNode(int32(4 + 2*i))
+		bld.AddEdge(src, sink, int32(9-i))
+	}
+	cells = append(cells, pruningCell{"join6", bld.MustBuild(), procgraph.Complete(3), false})
+
+	// Width-1 fork-join: the middle tasks are pairwise equivalent
+	// (identical weight, parent, child, costs), the equivalent-task shape.
+	fj1, err := gen.ForkJoin(5, 1, 9, 4)
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, pruningCell{"forkjoin-5x1", fj1, procgraph.Complete(3), false})
+
+	// Depth-2 fork-join: parallel chains sharing a fork and a join — FTO
+	// fires inside the chains, equivalence does not (distinct successors).
+	fj2, err := gen.ForkJoin(4, 2, 9, 4)
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, pruningCell{"forkjoin-4x2", fj2, procgraph.Complete(3), false})
+
+	// Layered STG cells (zero communication costs): the large-instance
+	// workload shape, where the HLoad load-balance bound dominates.
+	for _, lc := range []gen.LayeredConfig{
+		{Layers: 6, Width: 2, Seed: seed},
+		{Layers: 8, Width: 2, Seed: seed + 9},
+	} {
+		g, err := gen.LayeredSTG(lc)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, pruningCell{g.Name(), g, procgraph.Complete(4), true})
+	}
+
+	// A layered cell with communication costs (CCR 1), the general case.
+	gl, err := gen.Layered(gen.LayeredConfig{Layers: 6, Width: 2, Seed: seed + 9})
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, pruningCell{gl.Name(), gl, procgraph.Complete(4), false})
+
+	return cells, nil
+}
+
+// RunPruning measures every pruning variant on the fixed corpus and runs
+// the correctness gate.
+func RunPruning(cfg Config) *PruningResult {
+	cfg = cfg.withDefaults()
+	res := &PruningResult{Config: cfg}
+	cells, err := pruningCells(cfg.Seed)
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("pruning: corpus generation failed: %v", err))
+		return res
+	}
+	headlineOK := false
+	var totalEquiv, totalFTO int64
+	for _, cell := range cells {
+		var baseline, hload *PruningRow
+		optLen := int32(-1)
+		for _, variant := range pruningVariants() {
+			ecfg := variant.Cfg
+			ecfg.MaxExpanded = cfg.CellBudget
+			ecfg.Timeout = cfg.CellTimeout
+			c := runCellStats("astar", cell.g, cell.sys, ecfg)
+			res.Rows = append(res.Rows, PruningRow{
+				Cell: cell.name, V: cell.g.NumNodes(), System: cell.sys.Name(),
+				Variant: variant.Name, Time: c.Time, Expanded: c.Expanded,
+				PrunedEquiv: c.PrunedEquiv, PrunedFTO: c.PrunedFTO,
+				Length: c.Length, Optimal: c.Optimal,
+			})
+			row := &res.Rows[len(res.Rows)-1]
+			switch variant.Name {
+			case "baseline":
+				baseline = row
+			case "all-hload":
+				hload = row
+			}
+			totalEquiv += c.PrunedEquiv
+			totalFTO += c.PrunedFTO
+			// Gate: every exact search that proved optimality must agree.
+			if row.Optimal {
+				if optLen < 0 {
+					optLen = row.Length
+				} else if row.Length != optLen {
+					res.Failures = append(res.Failures, fmt.Sprintf(
+						"pruning %s: variant %s proved makespan %d, earlier variants proved %d",
+						cell.name, variant.Name, row.Length, optLen))
+				}
+			}
+		}
+		if cell.layeredSTG && hload != nil && hload.Optimal &&
+			baseline != nil && baseline.Expanded >= 2*hload.Expanded {
+			headlineOK = true
+		}
+	}
+	if totalEquiv+totalFTO == 0 {
+		res.Failures = append(res.Failures,
+			"pruning: PrunedEquiv+PrunedFTO == 0 across the whole corpus — the new prunings never fired")
+	}
+	if !headlineOK {
+		res.Failures = append(res.Failures,
+			"pruning: no layered-STG cell shows a >= 2x expansion reduction (all prunings + HLoad vs baseline)")
+	}
+	return res
+}
+
+// statsCell extends cellResult with the pruning counters.
+type statsCell struct {
+	cellResult
+	PrunedEquiv int64
+	PrunedFTO   int64
+}
+
+// runCellStats is runCell plus the pruning counters of the run.
+func runCellStats(name string, g *taskgraph.Graph, sys *procgraph.System, ecfg engine.Config) statsCell {
+	start := time.Now()
+	r, err := engine.Solve(context.Background(), name, g, sys, ecfg)
+	if err != nil {
+		return statsCell{}
+	}
+	return statsCell{
+		cellResult: cellResult{
+			Time: time.Since(start), Expanded: r.Stats.Expanded,
+			Length: r.Length, Optimal: r.Optimal,
+		},
+		PrunedEquiv: r.Stats.PrunedEquiv,
+		PrunedFTO:   r.Stats.PrunedFTO,
+	}
+}
+
+// Tables renders the pruning ablation with per-variant deltas.
+func (r *PruningResult) Tables() []*table {
+	t := &table{
+		Title: "Pruning ablation — equivalent tasks, fixed task order, HLoad (serial A*)",
+		Header: []string{"cell", "v", "system", "variant", "time", "states expanded",
+			"vs baseline", "pruned equiv", "pruned fto", "SL", "optimal"},
+	}
+	baseline := map[string]int64{}
+	for _, row := range r.Rows {
+		if row.Variant == "baseline" {
+			baseline[row.Cell] = row.Expanded
+		}
+	}
+	for _, row := range r.Rows {
+		ratio := "—"
+		if b := baseline[row.Cell]; b > 0 && row.Expanded > 0 && row.Variant != "baseline" {
+			ratio = fmt.Sprintf("%.2fx", float64(b)/float64(row.Expanded))
+		}
+		t.Rows = append(t.Rows, []string{
+			row.Cell, fmt.Sprint(row.V), row.System, row.Variant,
+			fmtDuration(row.Time), fmt.Sprint(row.Expanded), ratio,
+			fmt.Sprint(row.PrunedEquiv), fmt.Sprint(row.PrunedFTO),
+			fmt.Sprint(row.Length), fmt.Sprint(row.Optimal),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"baseline = the pre-overhaul configuration (§3.2 prunings, paper heuristic); vs-baseline is its expansions over the variant's",
+		"every proven-optimal variant of one cell must agree on SL — disagreement fails the run")
+	for _, f := range r.Failures {
+		t.Notes = append(t.Notes, "GATE FAILURE: "+f)
+	}
+	return []*table{t}
+}
+
+// Write renders the ablation in the requested format.
+func (r *PruningResult) Write(w io.Writer, format string) error {
+	for _, t := range r.Tables() {
+		var err error
+		if format == "csv" {
+			err = t.WriteCSV(w)
+		} else {
+			err = t.WriteMarkdown(w)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -136,6 +136,8 @@ type task struct {
 	// current attempt's running totals (folded into base on re-queue).
 	baseExp, baseGen int64
 	lastExp, lastGen int64
+	basePE, basePF   int64 // pruning counters, same fold discipline
+	lastPE, lastPF   int64
 	resolved         bool
 }
 
@@ -258,6 +260,9 @@ func (c *Coordinator) requeueLocked(t *task, reason string, budgeted bool) {
 	t.baseExp += t.lastExp
 	t.baseGen += t.lastGen
 	t.lastExp, t.lastGen = 0, 0
+	t.basePE += t.lastPE
+	t.basePF += t.lastPF
+	t.lastPE, t.lastPF = 0, 0
 	t.reasons = append(t.reasons, reason)
 	if budgeted {
 		t.failures++
@@ -620,12 +625,16 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	t.leaseExpiry = time.Now().Add(c.cfg.LeaseTTL)
 	t.lastExp, t.lastGen = req.Expanded, req.Generated
+	t.lastPE, t.lastPF = req.PrunedEquiv, req.PrunedFTO
 	cancel := t.ctx.Err() != nil
 	// The progress fold happens under the mutex, atomically with the
 	// lease-holder check above: a stale report racing a failover must not
 	// rewind the counters after the survivor reported larger totals.
 	if t.job.Progress != nil {
 		t.job.Progress(t.baseExp+req.Expanded, t.baseGen+req.Generated)
+	}
+	if t.job.Pruned != nil {
+		t.job.Pruned(t.basePE+req.PrunedEquiv, t.basePF+req.PrunedFTO)
 	}
 	switch {
 	case req.Abandon:

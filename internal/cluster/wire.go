@@ -78,9 +78,12 @@ type ReportRequest struct {
 	WorkerID string `json:"worker_id"`
 	// Expanded/Generated are the absolute totals of this attempt; the
 	// coordinator folds them into the job's live progress on top of the
-	// counts earlier attempts accumulated.
-	Expanded  int64 `json:"expanded"`
-	Generated int64 `json:"generated"`
+	// counts earlier attempts accumulated. PrunedEquiv/PrunedFTO carry the
+	// pruning counters the same way.
+	Expanded    int64 `json:"expanded"`
+	Generated   int64 `json:"generated"`
+	PrunedEquiv int64 `json:"pruned_equiv,omitempty"`
+	PrunedFTO   int64 `json:"pruned_fto,omitempty"`
 
 	Done    bool              `json:"done,omitempty"`
 	Result  *server.JobResult `json:"result,omitempty"`

@@ -296,12 +296,12 @@ func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) 
 	w.logf("job %s (attempt %d): %s", lease.ID, lease.Attempt, strings.Join(lease.Engines, ","))
 	g, err := taskgraph.FromJSON(lease.Graph)
 	if err != nil {
-		w.finishJob(workerID, lease.ID, 0, 0, nil, fmt.Sprintf("decode graph: %v", err))
+		w.finishJob(workerID, lease.ID, 0, 0, 0, 0, nil, fmt.Sprintf("decode graph: %v", err))
 		return
 	}
 	sys, err := procgraph.FromJSON(lease.System)
 	if err != nil {
-		w.finishJob(workerID, lease.ID, 0, 0, nil, fmt.Sprintf("decode system: %v", err))
+		w.finishJob(workerID, lease.ID, 0, 0, 0, 0, nil, fmt.Sprintf("decode system: %v", err))
 		return
 	}
 
@@ -327,9 +327,11 @@ func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) 
 			case <-ticker.C:
 			}
 			exp, gen := progress.Snapshot()
+			pe, pf := progress.SnapshotPruned()
 			var ack ReportResponse
 			err := w.post(jobCtx, "/v1/workers/jobs/"+lease.ID+"/report",
-				ReportRequest{WorkerID: workerID, Expanded: exp, Generated: gen}, &ack)
+				ReportRequest{WorkerID: workerID, Expanded: exp, Generated: gen,
+					PrunedEquiv: pe, PrunedFTO: pf}, &ack)
 			// 410: the lease is gone (cancelled or re-queued elsewhere).
 			// 404: the coordinator forgot this worker entirely — the job
 			// has been (or is about to be) re-leased under someone else,
@@ -368,6 +370,7 @@ func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) 
 	<-reporterDone
 
 	exp, gen := progress.Snapshot()
+	pe, pf := progress.SnapshotPruned()
 	switch {
 	case w.killed.Load():
 		// A crash reports nothing; the coordinator's failure detector
@@ -376,9 +379,9 @@ func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) 
 		// The lease is gone coordinator-side; a final report would 410.
 	case ctx.Err() != nil:
 		// Draining: hand the job back for another worker to finish.
-		w.abandonJob(workerID, lease.ID, exp, gen)
+		w.abandonJob(workerID, lease.ID, exp, gen, pe, pf)
 	default:
-		w.finishJob(workerID, lease.ID, exp, gen, res, errMessage)
+		w.finishJob(workerID, lease.ID, exp, gen, pe, pf, res, errMessage)
 	}
 }
 
@@ -391,11 +394,12 @@ const terminalReportTimeout = 10 * time.Second
 
 // finishJob sends the terminal Done report. The coordinator may have
 // revoked the lease meanwhile (410) — then the outcome is simply dropped.
-func (w *Worker) finishJob(workerID, id string, exp, gen int64, res *server.JobResult, errMessage string) {
+func (w *Worker) finishJob(workerID, id string, exp, gen, prunedEquiv, prunedFTO int64, res *server.JobResult, errMessage string) {
 	ctx, cancel := context.WithTimeout(context.Background(), terminalReportTimeout)
 	defer cancel()
 	err := w.post(ctx, "/v1/workers/jobs/"+id+"/report", ReportRequest{
 		WorkerID: workerID, Expanded: exp, Generated: gen,
+		PrunedEquiv: prunedEquiv, PrunedFTO: prunedFTO,
 		Done: true, Result: res, Error: errMessage,
 	}, nil)
 	if err != nil && statusCode(err) != http.StatusGone {
@@ -404,11 +408,12 @@ func (w *Worker) finishJob(workerID, id string, exp, gen int64, res *server.JobR
 }
 
 // abandonJob hands a job back to the coordinator for re-leasing.
-func (w *Worker) abandonJob(workerID, id string, exp, gen int64) {
+func (w *Worker) abandonJob(workerID, id string, exp, gen, prunedEquiv, prunedFTO int64) {
 	ctx, cancel := context.WithTimeout(context.Background(), terminalReportTimeout)
 	defer cancel()
 	err := w.post(ctx, "/v1/workers/jobs/"+id+"/report", ReportRequest{
-		WorkerID: workerID, Expanded: exp, Generated: gen, Abandon: true,
+		WorkerID: workerID, Expanded: exp, Generated: gen,
+		PrunedEquiv: prunedEquiv, PrunedFTO: prunedFTO, Abandon: true,
 	}, nil)
 	if err != nil && statusCode(err) != http.StatusGone {
 		w.logf("job %s: abandon failed: %v", id, err)

@@ -23,11 +23,49 @@ const (
 	// DisableDuplicateCheck turns off the OPEN ∪ CLOSED duplicate test —
 	// exponentially wasteful, provided for ablation only.
 	DisableDuplicateCheck
+	// DisableEquivalentTasks turns off the equivalent-task fixed-order
+	// pruning: branching only on a node whose next-lower equivalence-class
+	// member is already scheduled, so every class is scheduled in one
+	// canonical id order across the whole tree (the task-axis mirror of the
+	// processor-interchangeability filter).
+	DisableEquivalentTasks
+	// DisableFTO turns off the fixed-task-order subtree collapse: when the
+	// ready set provably admits a single optimal branching order
+	// (arXiv 2405.15371), only the first node of that order is branched.
+	DisableFTO
 
 	// DisableAllPruning is the "A* full" configuration of Table 1: plain A*
-	// with the paper's cost function but none of the §3.2 prunings.
-	DisableAllPruning = DisableIsomorphism | DisableEquivalence | DisableUpperBound | DisablePriorityOrder
+	// with the paper's cost function and none of the prunings — neither the
+	// paper's §3.2 set nor the modern equivalent-task/FTO collapses.
+	DisableAllPruning = DisableIsomorphism | DisableEquivalence | DisableUpperBound |
+		DisablePriorityOrder | DisableEquivalentTasks | DisableFTO
 )
+
+// disableNames maps the wire/CLI names of the pruning toggles onto bits.
+// "all" selects DisableAllPruning.
+var disableNames = map[string]Disable{
+	"isomorphism":      DisableIsomorphism,
+	"iso":              DisableIsomorphism,
+	"equivalence":      DisableEquivalence,
+	"equiv":            DisableEquivalence,
+	"equivalent-tasks": DisableEquivalentTasks,
+	"equiv-tasks":      DisableEquivalentTasks,
+	"fto":              DisableFTO,
+	"upper-bound":      DisableUpperBound,
+	"ub":               DisableUpperBound,
+	"priority-order":   DisablePriorityOrder,
+	"duplicate-check":  DisableDuplicateCheck,
+	"all":              DisableAllPruning,
+}
+
+// DisableByName resolves one pruning-toggle name ("iso", "equivalence",
+// "equivalent-tasks", "fto", "upper-bound", "priority-order",
+// "duplicate-check", "all") to its Disable bit. The bool reports whether
+// the name is known.
+func DisableByName(name string) (Disable, bool) {
+	d, ok := disableNames[name]
+	return d, ok
+}
 
 // HFunc selects the heuristic function.
 type HFunc int
@@ -40,7 +78,30 @@ const (
 	// parent, parent-finish + sl. Strictly tighter, costs O(e) per child
 	// (ablation "hplus").
 	HPlus
+	// HLoad strengthens HPlus with two more admissible lower bounds: an
+	// idle-aware load-balance bound ⌈(Σ committed PE timelines + remaining
+	// minimum work)/P⌉, and a communication-aware critical path — for every
+	// ready node, its earliest possible start on any PE (parents pay their
+	// comm cost unless co-located) plus its static level. Strictly tighter
+	// again; costs O(ready·P·indeg) per expansion.
+	HLoad
 )
+
+// hFuncNames maps the wire/CLI names of the heuristic tiers.
+var hFuncNames = map[string]HFunc{
+	"paper": HPaper,
+	"plus":  HPlus,
+	"hplus": HPlus,
+	"load":  HLoad,
+	"hload": HLoad,
+}
+
+// HFuncByName resolves a heuristic-tier name ("paper", "plus", "load") to
+// its HFunc. The bool reports whether the name is known.
+func HFuncByName(name string) (HFunc, bool) {
+	h, ok := hFuncNames[name]
+	return h, ok
+}
 
 // Tracer observes the search as it runs. Implementations must be cheap:
 // the engine calls Expanded once per state expansion and Generated once per
@@ -53,6 +114,18 @@ type Tracer interface {
 	// Generated is called when child (created by expanding parent) is
 	// emitted into the search.
 	Generated(parent, child *State)
+}
+
+// PruneTracer is optionally implemented by a Tracer to observe pruning
+// effectiveness live: the expander reports the equivalent-task and
+// fixed-task-order prune deltas once per expansion (not per pruned node),
+// so implementations pay two atomic adds per expansion at most. The
+// solverpool Progress counter implements it to surface pruning counters on
+// the job API's status payload while a search runs.
+type PruneTracer interface {
+	// Pruned reports how many ready nodes this expansion skipped via the
+	// equivalent-task pruning and the FTO collapse respectively.
+	Pruned(equiv, fto int64)
 }
 
 // Options configures a solve.
@@ -83,7 +156,8 @@ type Stats struct {
 	Expanded     int64 // states removed from OPEN and expanded
 	Generated    int64 // child states constructed
 	PrunedIso    int64 // (node, PE) targets skipped by processor isomorphism
-	PrunedEquiv  int64 // ready nodes skipped by node equivalence
+	PrunedEquiv  int64 // ready nodes skipped by node equivalence / equivalent-task order
+	PrunedFTO    int64 // ready nodes skipped by the fixed-task-order collapse
 	PrunedUB     int64 // children discarded with f > U
 	PrunedBound  int64 // children discarded against the incumbent
 	Duplicates   int64 // children rejected by the visited table
@@ -109,6 +183,7 @@ func (s *Stats) Add(other *Stats) {
 	s.Generated += other.Generated
 	s.PrunedIso += other.PrunedIso
 	s.PrunedEquiv += other.PrunedEquiv
+	s.PrunedFTO += other.PrunedFTO
 	s.PrunedUB += other.PrunedUB
 	s.PrunedBound += other.PrunedBound
 	s.Duplicates += other.Duplicates
@@ -142,21 +217,37 @@ type Expander struct {
 
 	Stats *Stats
 
-	arena    *Arena
-	procOf   []int32 // scratch: per node, assigned PE or -1
-	finishOf []int32
-	sched    []int32 // scratch: the scheduled nodes of the loaded state
-	rt       []int32 // scratch: per PE ready time (Definition 1)
-	cnt      []int32 // scratch: per PE number of assigned nodes
-	eqSeen   []bool  // scratch: equivalence classes already branched
-	isoSeen  []bool  // scratch: interchangeability classes with an empty representative
-	procOK   []bool  // scratch: PEs to consider after isomorphism filtering
+	arena       *Arena
+	pruneTracer PruneTracer // Tracer's optional prune hook, asserted once
+	procOf      []int32     // scratch: per node, assigned PE or -1
+	finishOf    []int32
+	sched       []int32 // scratch: the scheduled nodes of the loaded state
+	rt          []int32 // scratch: per PE ready time (Definition 1)
+	cnt         []int32 // scratch: per PE number of assigned nodes
+	eqSeen      []bool  // scratch: equivalence classes already branched
+	isoSeen     []bool  // scratch: interchangeability classes with an empty representative
+	procOK      []bool  // scratch: PEs to consider after isomorphism filtering
+	ready       []int32 // scratch: ready nodes surviving the task prunings, branch order
+	ftoN        []int32 // scratch: ready nodes sorted by the FTO dominance order
+	ftoDRT      []int32 // scratch: their data-ready times (remote arrival)
+	ftoOut      []int32 // scratch: their out-edge comm costs
+
+	// HLoad per-state scratch: committed PE-timeline sum and remaining
+	// minimum work (load-balance bound), plus the two largest
+	// comm-aware critical-path bounds over the ready set and the node the
+	// largest belongs to (so the child that schedules it falls back to the
+	// runner-up).
+	sumRT   int64
+	remMin  int64
+	cpTop1  int32
+	cpTop2  int32
+	cpTop1N int32
 }
 
 // NewExpander returns an expander for the model with its own scratch space
 // and state arena.
 func (m *Model) NewExpander(opt Options, stats *Stats) *Expander {
-	return &Expander{
+	e := &Expander{
 		M:        m,
 		Disable:  opt.Disable,
 		HFunc:    opt.HFunc,
@@ -171,7 +262,13 @@ func (m *Model) NewExpander(opt Options, stats *Stats) *Expander {
 		eqSeen:   make([]bool, m.V),
 		isoSeen:  make([]bool, m.P),
 		procOK:   make([]bool, m.P),
+		ready:    make([]int32, 0, m.V),
+		ftoN:     make([]int32, 0, m.V),
+		ftoDRT:   make([]int32, 0, m.V),
+		ftoOut:   make([]int32, 0, m.V),
 	}
+	e.pruneTracer, _ = opt.Tracer.(PruneTracer)
+	return e
 }
 
 // Arena returns the expander's state arena. The depth-first engines use its
@@ -188,14 +285,21 @@ func (e *Expander) load(s *State) {
 		e.cnt[i] = 0
 	}
 	e.sched = e.sched[:0]
+	var schedMin int64
 	for cur := s; cur != nil && cur.node >= 0; cur = cur.parent {
 		e.procOf[cur.node] = cur.proc
 		e.finishOf[cur.node] = cur.finish
 		e.sched = append(e.sched, cur.node)
 		e.cnt[cur.proc]++
+		schedMin += int64(e.M.wMin[cur.node])
 		if cur.finish > e.rt[cur.proc] {
 			e.rt[cur.proc] = cur.finish
 		}
+	}
+	e.remMin = e.M.totalWMin - schedMin
+	e.sumRT = 0
+	for _, t := range e.rt {
+		e.sumRT += int64(t)
 	}
 }
 
@@ -241,8 +345,14 @@ func (e *Expander) Expand(s *State, visited *Visited, emit func(*State)) int {
 	for i := range e.eqSeen {
 		e.eqSeen[i] = false
 	}
+	var prunedEquiv0, prunedFTO0 int64
+	if e.Stats != nil {
+		prunedEquiv0, prunedFTO0 = e.Stats.PrunedEquiv, e.Stats.PrunedFTO
+	}
 
-	emitted := 0
+	// Collect the ready nodes that survive the task-axis prunings, in
+	// branch order.
+	e.ready = e.ready[:0]
 	for i := 0; i < m.V; i++ {
 		var n int32
 		if order != nil {
@@ -263,6 +373,18 @@ func (e *Expander) Expand(s *State, visited *Visited, emit func(*State)) int {
 		if !ready {
 			continue
 		}
+		// Equivalent-task fixed order: only the lowest unscheduled member
+		// of each class is a branch target (class members have identical
+		// predecessor sets, so every unscheduled member is ready whenever
+		// one is — the check never starves a class).
+		if e.Disable&DisableEquivalentTasks == 0 {
+			if p := m.eqPrev[n]; p >= 0 && !s.mask.Has(p) {
+				if e.Stats != nil {
+					e.Stats.PrunedEquiv++
+				}
+				continue
+			}
+		}
 		if e.Disable&DisableEquivalence == 0 {
 			rep := m.eqRep[n]
 			if e.eqSeen[rep] {
@@ -273,9 +395,129 @@ func (e *Expander) Expand(s *State, visited *Visited, emit func(*State)) int {
 			}
 			e.eqSeen[rep] = true
 		}
+		e.ready = append(e.ready, n)
+	}
+
+	// HLoad: the comm-aware critical-path bounds are a function of the
+	// parent placements only, so they are computed once per expansion over
+	// the full surviving ready set — before any FTO truncation, since an
+	// FTO-skipped node is still unscheduled in every child and remains a
+	// valid lower-bound witness.
+	if e.HFunc == HLoad {
+		e.prepCriticalPath()
+	}
+
+	// Fixed-task-order collapse: when the ready set provably admits a
+	// single optimal branching order, branch only its first node.
+	if e.Disable&DisableFTO == 0 && m.ftoEligible && len(e.ready) > 1 {
+		if first, ok := e.ftoFirst(); ok {
+			if e.Stats != nil {
+				e.Stats.PrunedFTO += int64(len(e.ready) - 1)
+			}
+			e.ready = append(e.ready[:0], first)
+		}
+	}
+
+	emitted := 0
+	for _, n := range e.ready {
 		emitted += e.expandNode(s, n, visited, emit)
 	}
+	if e.pruneTracer != nil && e.Stats != nil {
+		if de, df := e.Stats.PrunedEquiv-prunedEquiv0, e.Stats.PrunedFTO-prunedFTO0; de != 0 || df != 0 {
+			e.pruneTracer.Pruned(de, df)
+		}
+	}
 	return emitted
+}
+
+// ftoFirst checks the fixed-task-order condition on the surviving ready set
+// and, when it holds, returns the single node the whole set collapses to:
+// every ready node has at most one parent and one child, all present
+// children coincide, and sorting by (data-ready time ascending, out-edge
+// cost descending) yields non-increasing out-edge costs — in which case an
+// optimal schedule starts the ready nodes in exactly that order
+// (arXiv 2405.15371), so branching any other node first is redundant.
+// Data-ready time is the remote arrival finish(parent) + c(edge), which is
+// PE-independent on the classic systems ftoEligible admits.
+func (e *Expander) ftoFirst() (int32, bool) {
+	m := e.M
+	sharedChild := int32(-1)
+	for _, n := range e.ready {
+		if !m.ftoOK[n] {
+			return 0, false
+		}
+		if c := m.ftoChild[n]; c >= 0 {
+			if sharedChild < 0 {
+				sharedChild = c
+			} else if sharedChild != c {
+				return 0, false
+			}
+		}
+	}
+	// Insertion sort into the scratch arrays by (drt asc, out desc, id asc);
+	// ready sets are small and the arrays are preallocated, so the hot path
+	// stays allocation-free.
+	e.ftoN, e.ftoDRT, e.ftoOut = e.ftoN[:0], e.ftoDRT[:0], e.ftoOut[:0]
+	for _, n := range e.ready {
+		var drt int32
+		if p := m.ftoParent[n]; p >= 0 {
+			drt = e.finishOf[p] + m.ftoParentCost[n]
+		}
+		out := m.ftoOutCost[n]
+		i := len(e.ftoN)
+		e.ftoN = append(e.ftoN, 0)
+		e.ftoDRT = append(e.ftoDRT, 0)
+		e.ftoOut = append(e.ftoOut, 0)
+		for i > 0 && (drt < e.ftoDRT[i-1] ||
+			drt == e.ftoDRT[i-1] && (out > e.ftoOut[i-1] ||
+				out == e.ftoOut[i-1] && n < e.ftoN[i-1])) {
+			e.ftoN[i], e.ftoDRT[i], e.ftoOut[i] = e.ftoN[i-1], e.ftoDRT[i-1], e.ftoOut[i-1]
+			i--
+		}
+		e.ftoN[i], e.ftoDRT[i], e.ftoOut[i] = n, drt, out
+	}
+	for i := 1; i < len(e.ftoOut); i++ {
+		if e.ftoOut[i] > e.ftoOut[i-1] {
+			return 0, false
+		}
+	}
+	return e.ftoN[0], true
+}
+
+// prepCriticalPath computes, for every surviving ready node u, the
+// communication-aware earliest-start bound min over PEs of the latest
+// parent arrival (each parent pays its comm cost unless co-located) plus
+// sl_min(u) — a lower bound on any schedule that still has to run u. Only
+// the two largest bounds (and the node owning the largest) are kept: a
+// child that schedules the witness node falls back to the runner-up.
+func (e *Expander) prepCriticalPath() {
+	m := e.M
+	e.cpTop1, e.cpTop2, e.cpTop1N = 0, 0, -1
+	for _, n := range e.ready {
+		var lbStart int32
+		if len(m.G.Pred(n)) > 0 {
+			lbStart = int32(1<<31 - 1)
+			for pe := 0; pe < m.P; pe++ {
+				var arr int32
+				for _, a := range m.G.Pred(n) {
+					t := e.finishOf[a.Node] + m.Sys.CommCost(a.Cost, int(e.procOf[a.Node]), pe)
+					if t > arr {
+						arr = t
+					}
+				}
+				if arr < lbStart {
+					lbStart = arr
+				}
+			}
+		}
+		cpb := lbStart + m.slMin[n]
+		if cpb > e.cpTop1 {
+			e.cpTop2 = e.cpTop1
+			e.cpTop1, e.cpTop1N = cpb, n
+		} else if cpb > e.cpTop2 {
+			e.cpTop2 = cpb
+		}
+	}
 }
 
 // expandNode generates the children that assign ready node n to each
@@ -315,8 +557,28 @@ func (e *Expander) expandNode(s *State, n int32, visited *Visited, emit func(*St
 		default:
 			h = s.h
 		}
-		if e.HFunc == HPlus {
+		if e.HFunc != HPaper {
 			h = e.hPlus(s, n, ft, g, h)
+		}
+		if e.HFunc == HLoad {
+			// Load-balance bound: every PE timeline in the child is at least
+			// its committed ready time (ft for pe), and the remaining minimum
+			// work must fit somewhere, so P·makespan ≥ Σ rt' + remaining.
+			sum := e.sumRT - int64(e.rt[pe]) + int64(ft)
+			rem := e.remMin - int64(m.wMin[n])
+			if lb := int32((sum + rem + int64(m.P) - 1) / int64(m.P)); lb-g > h {
+				h = lb - g
+			}
+			// Comm-aware critical path over the parent's ready set; the bound
+			// owned by n itself no longer applies once n is scheduled, so that
+			// child falls back to the runner-up.
+			cp := e.cpTop1
+			if e.cpTop1N == n {
+				cp = e.cpTop2
+			}
+			if cp-g > h {
+				h = cp - g
+			}
 		}
 		f := g + h
 

@@ -204,7 +204,10 @@ func TestEquivalencePrunesInterchangeableSiblings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := Solve(g, sys, Options{Disable: DisableEquivalence})
+	// The equivalent-task order and the FTO collapse independently cover a
+	// fork of identical children; all three must be off for the branched
+	// baseline to materialize.
+	off, err := Solve(g, sys, Options{Disable: DisableEquivalence | DisableEquivalentTasks | DisableFTO})
 	if err != nil {
 		t.Fatal(err)
 	}

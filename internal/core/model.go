@@ -40,12 +40,28 @@ type Model struct {
 	P   int
 
 	exec      [][]int32 // [node][pe] execution cost
+	wMin      []int32   // per node: minimum exec cost over PEs
+	totalWMin int64     // sum of wMin over all nodes (HLoad workload bound)
 	slMin     []int32   // static levels with per-node MINIMUM exec cost (admissible h)
 	maxSlSucc []int32   // per node: max slMin over its successors; 0 for exits
 	prioOrder []int32   // node ids by decreasing b-level + t-level (mean costs)
 	eqRep     []int32   // node-equivalence class representative (lowest id)
+	eqPrev    []int32   // next-lower node id in the same equivalence class, -1 if lowest
 	procRep   []int32   // PE interchangeability class representative
 	staticLB  int32     // graph-level lower bound: max over n of tlMin(n)+slMin(n)
+
+	// Fixed-task-order (FTO) tables. A ready set collapses to a single forced
+	// branching order when every ready node has at most one parent and one
+	// child, all present children coincide, and the nodes admit an order with
+	// non-decreasing data-ready times and non-increasing out-edge costs
+	// (arXiv 2405.15371). The per-node structure is static; only the
+	// data-ready times depend on the partial schedule.
+	ftoOK         []bool  // in-degree <= 1 && out-degree <= 1
+	ftoParent     []int32 // the sole parent, -1 if entry
+	ftoParentCost []int32 // comm cost of the sole in-edge
+	ftoChild      []int32 // the sole child, -1 if exit
+	ftoOutCost    []int32 // comm cost of the sole out-edge (0 if exit)
+	ftoEligible   bool    // system is the classic model the FTO proof assumes
 }
 
 // NewModel validates the instance and precomputes the search tables.
@@ -79,11 +95,13 @@ func NewModel(g *taskgraph.Graph, sys *procgraph.System) (*Model, error) {
 			}
 		}
 		wMin[n] = mn
+		m.totalWMin += int64(mn)
 		wMean[n] = int32(sum / int64(p))
 		if wMean[n] < 1 {
 			wMean[n] = 1
 		}
 	}
+	m.wMin = wMin
 
 	m.slMin = g.StaticLevelsWith(wMin)
 	m.maxSlSucc = make([]int32, v)
@@ -114,7 +132,43 @@ func NewModel(g *taskgraph.Graph, sys *procgraph.System) (*Model, error) {
 	})
 
 	m.eqRep = equivalenceClasses(g)
+	// Link each equivalence class's members in increasing node-id order: the
+	// equivalent-task pruning only branches on a node whose next-lower class
+	// member is already scheduled, fixing one canonical scheduling order per
+	// class across the whole search tree.
+	m.eqPrev = make([]int32, v)
+	lastOf := make([]int32, v)
+	for i := range lastOf {
+		lastOf[i] = -1
+	}
+	for n := 0; n < v; n++ {
+		rep := m.eqRep[n]
+		m.eqPrev[n] = lastOf[rep]
+		lastOf[rep] = int32(n)
+	}
 	m.procRep = sys.Classes()
+
+	m.ftoOK = make([]bool, v)
+	m.ftoParent = make([]int32, v)
+	m.ftoParentCost = make([]int32, v)
+	m.ftoChild = make([]int32, v)
+	m.ftoOutCost = make([]int32, v)
+	for n := 0; n < v; n++ {
+		preds, succs := g.Pred(int32(n)), g.Succ(int32(n))
+		m.ftoOK[n] = len(preds) <= 1 && len(succs) <= 1
+		m.ftoParent[n], m.ftoChild[n] = -1, -1
+		if len(preds) == 1 {
+			m.ftoParent[n], m.ftoParentCost[n] = preds[0].Node, preds[0].Cost
+		}
+		if len(succs) == 1 {
+			m.ftoChild[n], m.ftoOutCost[n] = succs[0].Node, succs[0].Cost
+		}
+	}
+	// The FTO interchange argument assumes the classic model: homogeneous
+	// PEs and a remote communication cost that does not depend on which PE
+	// pair carries the edge. Hop-scaled systems qualify iff every PE pair is
+	// one hop apart (complete graphs and the degenerate 1–2 PE systems).
+	m.ftoEligible = !sys.Heterogeneous() && (sys.Link() == procgraph.LinkUniform || sys.Diameter() <= 1)
 
 	tlNoComm := tlMinNoComm(g, wMin)
 	for n := 0; n < v; n++ {
@@ -189,3 +243,13 @@ func (m *Model) PriorityOrder() []int32 { return m.prioOrder }
 
 // EquivalenceRep returns the node-equivalence class representative of n.
 func (m *Model) EquivalenceRep(n int32) int32 { return m.eqRep[n] }
+
+// EquivalencePrev returns the next-lower node id in n's equivalence class,
+// or -1 when n is the lowest member — the canonical order the
+// equivalent-task pruning enforces.
+func (m *Model) EquivalencePrev(n int32) int32 { return m.eqPrev[n] }
+
+// FTOEligible reports whether the target system satisfies the classic-model
+// assumptions of the fixed-task-order collapse (homogeneous PEs, pair-
+// independent remote communication cost).
+func (m *Model) FTOEligible() bool { return m.ftoEligible }

@@ -154,8 +154,10 @@ func TestEpsilonBounds(t *testing.T) {
 				t.Errorf("eps=%g seed=%d: approx %d > bound of optimal %d",
 					eps, seed, approx.Length, exact.Length)
 			}
-			if approx.BoundFactor != 1+eps {
-				t.Errorf("eps=%g: BoundFactor = %v", eps, approx.BoundFactor)
+			// An Aε* run that happens to meet the exact lower bound reports
+			// the tight guarantee (Optimal, BoundFactor 1) instead of 1+ε.
+			if approx.BoundFactor != 1+eps && !(approx.Optimal && approx.BoundFactor == 1) {
+				t.Errorf("eps=%g: BoundFactor = %v (Optimal=%v)", eps, approx.BoundFactor, approx.Optimal)
 			}
 			if err := approx.Schedule.Validate(); err != nil {
 				t.Errorf("eps=%g seed=%d: invalid schedule: %v", eps, seed, err)

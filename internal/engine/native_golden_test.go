@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/procgraph"
@@ -45,11 +46,35 @@ func goldenCorpus() []goldenCell {
 	return cells
 }
 
+// goldenCombos enumerates the pruning configurations every corpus cell is
+// pinned under: the default (everything on), each of the new prunings off
+// in isolation, both off, and the strongest heuristic tier. All are exact
+// searches, so the proven optimum must be identical under every combo.
+func goldenCombos() []struct {
+	name string
+	cfg  engine.Config
+} {
+	return []struct {
+		name string
+		cfg  engine.Config
+	}{
+		{"default", engine.Config{}},
+		{"no-equiv-tasks", engine.Config{Disable: core.DisableEquivalentTasks}},
+		{"no-fto", engine.Config{Disable: core.DisableFTO}},
+		{"no-equiv-no-fto", engine.Config{Disable: core.DisableEquivalentTasks | core.DisableFTO}},
+		{"hload", engine.Config{HFunc: core.HLoad}},
+	}
+}
+
 // TestNativeGoldenCorpus pins the native engine, at one worker and at four,
-// to the serial A* across the whole golden corpus: identical makespan on
-// every cell, the Optimal flag set, and BoundFactor exactly 1. This is the
-// determinism contract of the work-stealing engine — thread scheduling may
-// reorder the search, never change the proven optimum.
+// to the serial A* across the whole golden corpus, under every pruning
+// combination: identical makespan on every cell, the Optimal flag set, and
+// BoundFactor exactly 1. This is the determinism contract of the
+// work-stealing engine — thread scheduling may reorder the search, never
+// change the proven optimum — and, since the combos differ only in which
+// sound reductions they apply, the soundness contract of the pruning
+// family. The default combo runs both worker counts; the ablated combos
+// run the four-worker configuration to bound the suite's runtime.
 func TestNativeGoldenCorpus(t *testing.T) {
 	cells := goldenCorpus()
 	if len(cells) != 275 {
@@ -58,26 +83,44 @@ func TestNativeGoldenCorpus(t *testing.T) {
 	for _, c := range cells {
 		g := gen.MustRandom(gen.RandomConfig{V: c.v, CCR: c.ccr, Seed: c.seed})
 		name := fmt.Sprintf("v=%d seed=%d ccr=%g %s", c.v, c.seed, c.ccr, c.sys.Name())
-		ref, err := engine.Solve(context.Background(), "astar", g, c.sys, engine.Config{})
-		if err != nil {
-			t.Fatalf("%s: astar: %v", name, err)
-		}
-		if !ref.Optimal {
-			t.Fatalf("%s: astar did not prove optimality", name)
-		}
-		for _, workers := range []int{1, 4} {
-			res, err := engine.Solve(context.Background(), "native", g, c.sys, engine.Config{Workers: workers})
+		optimum := int32(-1)
+		for _, combo := range goldenCombos() {
+			ref, err := engine.Solve(context.Background(), "astar", g, c.sys, combo.cfg)
 			if err != nil {
-				t.Fatalf("%s w=%d: %v", name, workers, err)
+				t.Fatalf("%s [%s]: astar: %v", name, combo.name, err)
 			}
-			if res.Length != ref.Length {
-				t.Errorf("%s w=%d: makespan %d, serial optimum %d", name, workers, res.Length, ref.Length)
+			if !ref.Optimal {
+				t.Fatalf("%s [%s]: astar did not prove optimality", name, combo.name)
 			}
-			if !res.Optimal {
-				t.Errorf("%s w=%d: Optimal flag not set", name, workers)
+			if ref.BoundFactor != 1 {
+				t.Fatalf("%s [%s]: astar BoundFactor %g, want exactly 1", name, combo.name, ref.BoundFactor)
 			}
-			if res.BoundFactor != 1 {
-				t.Errorf("%s w=%d: BoundFactor %g, want exactly 1", name, workers, res.BoundFactor)
+			if optimum < 0 {
+				optimum = ref.Length
+			} else if ref.Length != optimum {
+				t.Fatalf("%s [%s]: astar proved makespan %d, default combo proved %d",
+					name, combo.name, ref.Length, optimum)
+			}
+			workers := []int{4}
+			if combo.name == "default" {
+				workers = []int{1, 4}
+			}
+			for _, w := range workers {
+				cfg := combo.cfg
+				cfg.Workers = w
+				res, err := engine.Solve(context.Background(), "native", g, c.sys, cfg)
+				if err != nil {
+					t.Fatalf("%s [%s] w=%d: %v", name, combo.name, w, err)
+				}
+				if res.Length != optimum {
+					t.Errorf("%s [%s] w=%d: makespan %d, serial optimum %d", name, combo.name, w, res.Length, optimum)
+				}
+				if !res.Optimal {
+					t.Errorf("%s [%s] w=%d: Optimal flag not set", name, combo.name, w)
+				}
+				if res.BoundFactor != 1 {
+					t.Errorf("%s [%s] w=%d: BoundFactor %g, want exactly 1", name, combo.name, w, res.BoundFactor)
+				}
 			}
 		}
 	}

@@ -64,11 +64,37 @@ type JobConfig struct {
 	// choice for large (v > 64) instances, whose static-lower-bound term
 	// often proves optimality in a single dive.
 	HPlus bool `json:"h_plus,omitempty"`
+	// HFunc names a heuristic tier ("paper", "plus", "load"); it overrides
+	// HPlus when set.
+	HFunc string `json:"h_func,omitempty"`
+	// Disable lists individual prunings to switch off by name ("iso",
+	// "equivalence", "equivalent-tasks", "fto", "upper-bound",
+	// "priority-order", "duplicate-check", "all"); ablation's fine-grained
+	// sibling of NoPruning.
+	Disable []string `json:"disable,omitempty"`
+}
+
+// Validate rejects unknown heuristic-tier and pruning names at submit time,
+// so a typo fails the request with a 400 instead of silently solving under
+// the default configuration.
+func (c JobConfig) Validate() error {
+	if c.HFunc != "" {
+		if _, ok := core.HFuncByName(c.HFunc); !ok {
+			return fmt.Errorf("unknown h_func %q (want paper, plus, or load)", c.HFunc)
+		}
+	}
+	for _, name := range c.Disable {
+		if _, ok := core.DisableByName(name); !ok {
+			return fmt.Errorf("unknown pruning name %q in disable", name)
+		}
+	}
+	return nil
 }
 
 // EngineConfig translates the wire budget into the registry configuration.
 // Cluster workers call it on the leased job's config, so the remote solve
-// runs under exactly the budget the submitter asked for.
+// runs under exactly the budget the submitter asked for. Unknown names in
+// HFunc/Disable are ignored here — Validate rejects them at submit time.
 func (c JobConfig) EngineConfig() engine.Config {
 	cfg := engine.Config{
 		Epsilon:     c.Epsilon,
@@ -82,8 +108,18 @@ func (c JobConfig) EngineConfig() engine.Config {
 	if c.NoPruning {
 		cfg.Disable = core.DisableAllPruning
 	}
+	for _, name := range c.Disable {
+		if d, ok := core.DisableByName(name); ok {
+			cfg.Disable |= d
+		}
+	}
 	if c.HPlus {
 		cfg.HFunc = core.HPlus
+	}
+	if c.HFunc != "" {
+		if h, ok := core.HFuncByName(c.HFunc); ok {
+			cfg.HFunc = h
+		}
 	}
 	return cfg
 }
@@ -100,6 +136,11 @@ type JobProgress struct {
 	// every PPE) the job is running.
 	Expanded  int64 `json:"expanded"`
 	Generated int64 `json:"generated"`
+	// PrunedEquiv and PrunedFTO count the ready nodes the search skipped so
+	// far via the equivalent-task pruning and the fixed-task-order collapse
+	// — the live view of pruning effectiveness.
+	PrunedEquiv int64 `json:"pruned_equiv,omitempty"`
+	PrunedFTO   int64 `json:"pruned_fto,omitempty"`
 	// ElapsedMS is the wall-clock time since the job started running
 	// (0 while queued).
 	ElapsedMS int64 `json:"elapsed_ms"`

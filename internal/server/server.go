@@ -82,6 +82,9 @@ type DispatchJob struct {
 	Config   JobConfig
 	Started  func()
 	Progress func(expanded, generated int64)
+	// Pruned folds the worker's reported absolute pruning counters
+	// (equivalent-task, fixed-task-order) into the job's live progress.
+	Pruned func(equiv, fto int64)
 }
 
 // Dispatcher is the cluster hook: internal/cluster's coordinator
@@ -246,6 +249,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := req.Config.Validate(); err != nil {
+		WriteError(w, http.StatusBadRequest, "bad config: %v", err)
+		return
+	}
 	// The backlog check is the cluster-aware backpressure: the cap scales
 	// with the live aggregate capacity, so a fleet losing workers starts
 	// refusing load before the store fills with jobs nobody can run.
@@ -339,6 +346,7 @@ func (s *Server) run(ctx context.Context, j *job, cfg engine.Config) {
 			Config:   j.config,
 			Started:  func() { s.store.markRunning(j) },
 			Progress: j.progress.Record,
+			Pruned:   j.progress.RecordPruned,
 		})
 		if handled {
 			s.finishJob(ctx, j, res, errMessage)

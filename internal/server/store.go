@@ -273,6 +273,7 @@ func (st *store) status(j *job) JobStatus {
 		out.Finished = j.finished.UTC().Format(time.RFC3339Nano)
 	}
 	out.Progress.Expanded, out.Progress.Generated = j.progress.Snapshot()
+	out.Progress.PrunedEquiv, out.Progress.PrunedFTO = j.progress.SnapshotPruned()
 	if j.result != nil {
 		out.Length = j.result.Length
 		out.Optimal = j.result.Optimal

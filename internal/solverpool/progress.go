@@ -17,8 +17,10 @@ import (
 // attaches the same counter to every entrant; the parallel engine attaches
 // it to every PPE), in which case the counts aggregate across all of them.
 type Progress struct {
-	expanded  atomic.Int64
-	generated atomic.Int64
+	expanded    atomic.Int64
+	generated   atomic.Int64
+	prunedEquiv atomic.Int64
+	prunedFTO   atomic.Int64
 }
 
 // Expanded implements core.Tracer.
@@ -26,6 +28,14 @@ func (p *Progress) Expanded(*core.State) { p.expanded.Add(1) }
 
 // Generated implements core.Tracer.
 func (p *Progress) Generated(_, _ *core.State) { p.generated.Add(1) }
+
+// Pruned implements core.PruneTracer: the expander reports the
+// equivalent-task and fixed-task-order prune deltas once per expansion, so
+// pruning effectiveness is observable live alongside the expansion counts.
+func (p *Progress) Pruned(equiv, fto int64) {
+	p.prunedEquiv.Add(equiv)
+	p.prunedFTO.Add(fto)
+}
 
 // ForPPE adapts the counter to the parallel engine's per-PPE tracer hook;
 // every PPE feeds the same aggregate.
@@ -36,6 +46,12 @@ func (p *Progress) Snapshot() (expanded, generated int64) {
 	return p.expanded.Load(), p.generated.Load()
 }
 
+// SnapshotPruned returns the ready nodes skipped so far by the
+// equivalent-task pruning and the fixed-task-order collapse.
+func (p *Progress) SnapshotPruned() (equiv, fto int64) {
+	return p.prunedEquiv.Load(), p.prunedFTO.Load()
+}
+
 // Record overwrites the counters with externally reported absolute values —
 // the remote path: a cluster worker runs the search on its own Progress and
 // periodically reports the totals, which the coordinator folds into the
@@ -44,6 +60,12 @@ func (p *Progress) Snapshot() (expanded, generated int64) {
 func (p *Progress) Record(expanded, generated int64) {
 	p.expanded.Store(expanded)
 	p.generated.Store(generated)
+}
+
+// RecordPruned is Record's counterpart for the pruning counters.
+func (p *Progress) RecordPruned(equiv, fto int64) {
+	p.prunedEquiv.Store(equiv)
+	p.prunedFTO.Store(fto)
 }
 
 // Attach wires the counter into an engine configuration, covering both the

@@ -143,18 +143,22 @@ var WriteSTG = stg.Write
 
 // Pruning/feature toggles of the serial and parallel A* engines.
 const (
-	DisableIsomorphism   = core.DisableIsomorphism
-	DisableEquivalence   = core.DisableEquivalence
-	DisableUpperBound    = core.DisableUpperBound
-	DisablePriorityOrder = core.DisablePriorityOrder
-	DisableAllPruning    = core.DisableAllPruning
+	DisableIsomorphism     = core.DisableIsomorphism
+	DisableEquivalence     = core.DisableEquivalence
+	DisableUpperBound      = core.DisableUpperBound
+	DisablePriorityOrder   = core.DisablePriorityOrder
+	DisableEquivalentTasks = core.DisableEquivalentTasks
+	DisableFTO             = core.DisableFTO
+	DisableAllPruning      = core.DisableAllPruning
 )
 
-// Heuristic selectors for EngineConfig.HFunc: the paper's h (default) and
-// the strengthened admissible variant, recommended for large instances.
+// Heuristic selectors for EngineConfig.HFunc: the paper's h (default), the
+// strengthened admissible variant recommended for large instances, and the
+// load-balance/critical-path tier on top of it.
 const (
 	HPaper = core.HPaper
 	HPlus  = core.HPlus
+	HLoad  = core.HLoad
 )
 
 // MaxTasks is the largest task graph every engine accepts — the capacity of
