@@ -36,7 +36,7 @@ func cmdClient(args []string) {
 	fs.Parse(args)
 	rest := fs.Args()
 	if len(rest) == 0 {
-		fatal(fmt.Errorf("client needs a subcommand: submit | status | watch | result | cancel | list | engines | health | workers"))
+		fatal(fmt.Errorf("client needs a subcommand: submit | status | watch | result | cancel | list | engines | health | metrics | workers"))
 	}
 	c := &client{base: strings.TrimRight(*addr, "/")}
 	switch rest[0] {
@@ -56,6 +56,8 @@ func cmdClient(args []string) {
 		c.engines()
 	case "health":
 		c.health()
+	case "metrics":
+		c.metrics()
 	case "workers":
 		c.workers()
 	default:
@@ -123,6 +125,7 @@ func (c *client) submit(args []string) {
 	ppes := fs.Int("ppes", 0, "PPEs for the parallel engine")
 	wait := fs.Bool("wait", false, "poll until the job finishes and print the result")
 	gantt := fs.Bool("gantt", true, "with -wait, print the Gantt chart")
+	noCache := fs.Bool("no-cache", false, "bypass the daemon's schedule cache and force a fresh solve")
 	fs.Parse(args)
 
 	// The graph travels as the native text format: the daemon parses and
@@ -164,6 +167,9 @@ func (c *client) submit(args []string) {
 			fatal(err)
 		}
 		req.System = spec
+	}
+	if *noCache {
+		req.Cache = server.CacheBypass
 	}
 
 	var sub server.SubmitResponse
@@ -365,6 +371,21 @@ func (c *client) health() {
 	var h server.Health
 	c.do(http.MethodGet, "/v1/healthz", nil, &h)
 	printJSON(h)
+}
+
+// metrics prints the daemon's Prometheus text exposition verbatim — the
+// same bytes a scraper would ingest.
+func (c *client) metrics() {
+	resp, err := http.Get(c.base + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data))))
+	}
+	os.Stdout.Write(data)
 }
 
 // workers lists the cluster workers registered with a -cluster daemon.

@@ -11,7 +11,13 @@
 //	icpp98bench -experiment engines           # every registry engine head-to-head
 //	icpp98bench -experiment large             # v > 64: Aε*/portfolio at 80/128/256
 //	icpp98bench -experiment speedup           # native engine: real multi-core scaling
+//	icpp98bench -experiment serve             # serving tier under load: jobs/sec, cache, p50/p99
 //	icpp98bench -experiment all               # everything
+//
+// -checkserve <path> validates an existing BENCH_serve.json instead of
+// running anything: the file must parse, carry the serve SLO summary
+// (jobs/sec, cache hit rate, latency percentiles), and record no gate
+// failures. CI uses it to keep the committed baseline well-formed.
 //
 // The default configuration trims the sweep to laptop-scale sizes; -full
 // runs the paper's 10..32 sizes (expect censored cells unless -budget and
@@ -45,7 +51,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | ablation | pruning | distribution | deviation | engines | large | speedup | all")
+		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | ablation | pruning | distribution | deviation | engines | large | speedup | serve | all")
 		sizes      = flag.String("sizes", "", "comma-separated graph sizes (default 10,12,14,16; speedup: 80,128)")
 		ccrs       = flag.String("ccrs", "", "comma-separated CCRs (default 0.1,1,10)")
 		ppes       = flag.String("ppes", "", "comma-separated PPE/worker counts for fig6 and speedup (default 2,4,8,16; speedup: 1,2,4,8)")
@@ -60,15 +66,32 @@ func main() {
 		out        = flag.String("out", "", "output path: a file for the tables, or a directory for per-experiment files; controls where -json reports land (default: stdout + CWD)")
 		jsonOut    = flag.Bool("json", false, "also write a machine-readable BENCH_<experiment>.json per experiment (next to -out)")
 		procs      = flag.Int("procs", 0, "target PEs per instance (0 = v, the paper's setting)")
+		rate       = flag.Float64("rate", 0, "serve: offered load in requests/sec (0 = 25)")
+		duration   = flag.Duration("duration", 0, "serve: load-phase length (0 = 3s)")
+		corpus     = flag.Int("corpus", 0, "serve: distinct instances in the mixed corpus (0 = 5)")
+		servev     = flag.Int("servev", 0, "serve: nodes per corpus instance (0 = 20)")
+		checkServe = flag.String("checkserve", "", "validate an existing BENCH_serve.json (parses, SLO fields present, no failures) and exit")
 	)
 	flag.Parse()
 
+	if *checkServe != "" {
+		if err := bench.CheckServeReport(*checkServe); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: ok\n", *checkServe)
+		return
+	}
+
 	cfg := bench.Config{
-		Seed:        *seed,
-		CellBudget:  *budget,
-		CellTimeout: *timeout,
-		Fig7PPEs:    *fig7ppes,
-		PeriodFloor: *floor,
+		Seed:          *seed,
+		CellBudget:    *budget,
+		CellTimeout:   *timeout,
+		Fig7PPEs:      *fig7ppes,
+		PeriodFloor:   *floor,
+		ServeRate:     *rate,
+		ServeDuration: *duration,
+		ServeCorpus:   *corpus,
+		ServeV:        *servev,
 	}
 	if *full {
 		cfg.Sizes = bench.Full().Sizes
@@ -122,6 +145,8 @@ func main() {
 			res = bench.RunLarge(cfg)
 		case "speedup":
 			res = bench.RunSpeedup(cfg)
+		case "serve":
+			res = bench.RunServe(cfg)
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
@@ -160,7 +185,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "ablation", "pruning", "distribution", "deviation", "engines", "large", "speedup"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "ablation", "pruning", "distribution", "deviation", "engines", "large", "speedup", "serve"} {
 			run(name)
 		}
 	} else {

@@ -5,6 +5,15 @@
 //
 //	icpp98d -addr :8098 -workers 8 -store 4096 -ttl 30m
 //
+// With -store-dir the job store is file-backed (append-only WAL compacted
+// into a snapshot): a restarted daemon recovers its retained jobs —
+// finished results stay fetchable, jobs that were mid-flight read failed
+// with an "interrupted" error. Identical submissions are answered from a
+// content-addressed schedule cache (-cache-bytes budgets it; submit with
+// "cache":"bypass" to force a fresh solve). /metrics serves Prometheus
+// text-format counters, and -debug-addr serves net/http/pprof on a
+// separate, private port.
+//
 // Submit with curl (see docs/API.md for the full API):
 //
 //	curl -s localhost:8098/v1/jobs -d '{
@@ -31,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served on -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,11 +60,19 @@ func main() {
 	workerTimeout := flag.Duration("worker-timeout", 10*time.Second, "with -cluster: deregister a worker silent for this long")
 	jobAttempts := flag.Int("job-attempts", 3, "with -cluster: attempts a job may lose to worker death/expiry before it fails")
 	backlog := flag.Int("backlog-per-slot", 0, "503 submissions once active jobs reach this × aggregate capacity (0 = store-bound only)")
+	storeDir := flag.String("store-dir", "", "persist jobs under this directory (WAL + snapshot); restart recovers them. Empty = in-memory")
+	cacheBytes := flag.Int64("cache-bytes", 0, "schedule-cache byte budget (0 = 64 MiB, negative = disable)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	srv, err := server.Open(server.Config{
 		Workers: *workers, StoreCap: *storeCap, TTL: *ttl, BacklogPerSlot: *backlog,
+		StoreDir: *storeDir, CacheBytes: *cacheBytes,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icpp98d:", err)
+		os.Exit(1)
+	}
 	var coord *cluster.Coordinator
 	if *clustered {
 		coord = cluster.NewCoordinator(cluster.Config{
@@ -68,12 +86,26 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+	// pprof stays off the public mux: the job API port never exposes the
+	// profiler, and the debug port serves nothing but it (DefaultServeMux
+	// registration by the pprof import).
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "icpp98d: debug listener:", err)
+			}
+		}()
+	}
 	mode := "local pool only"
 	if *clustered {
 		mode = "cluster coordinator"
 	}
-	fmt.Fprintf(os.Stderr, "icpp98d: serving on %s (workers=%d store=%d ttl=%v, %s)\n",
-		*addr, *workers, *storeCap, *ttl, mode)
+	store := "in-memory"
+	if *storeDir != "" {
+		store = *storeDir
+	}
+	fmt.Fprintf(os.Stderr, "icpp98d: serving on %s (workers=%d store=%d ttl=%v jobs=%s, %s)\n",
+		*addr, *workers, *storeCap, *ttl, store, mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

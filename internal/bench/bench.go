@@ -55,6 +55,16 @@ type Config struct {
 	// PeriodFloor is the parallel engine's minimum communication period
 	// (0 = the paper's 2).
 	PeriodFloor int
+	// ServeRate is the serve experiment's offered load in requests/sec
+	// (0 = 25).
+	ServeRate float64
+	// ServeDuration is how long the serve load phase runs (0 = 3s); the
+	// request count is rate × duration, floored at two corpus passes.
+	ServeDuration time.Duration
+	// ServeCorpus is the serve experiment's distinct-instance count (0 = 5).
+	ServeCorpus int
+	// ServeV sizes the serve corpus instances (0 = 20 nodes).
+	ServeV int
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +88,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Fig7PPEs == 0 {
 		c.Fig7PPEs = 16
+	}
+	if c.ServeRate == 0 {
+		c.ServeRate = 25
+	}
+	if c.ServeDuration == 0 {
+		c.ServeDuration = 3 * time.Second
+	}
+	if c.ServeCorpus == 0 {
+		c.ServeCorpus = 5
+	}
+	if c.ServeV == 0 {
+		c.ServeV = 20
 	}
 	return c
 }

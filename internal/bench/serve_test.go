@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A miniature serve run: two instances, a couple of corpus passes, a few
+// hundred milliseconds. This keeps the experiment's gates — every request
+// done, repeats hit the cache, warm byte-identity vs a bypass solve — in
+// the ordinary test suite, not just in the CI smoke job.
+func TestRunServeSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a daemon under load")
+	}
+	cfg := Config{
+		Seed:          1998,
+		ServeRate:     50,
+		ServeDuration: 300 * time.Millisecond,
+		ServeCorpus:   2,
+		ServeV:        8,
+	}
+	res := RunServe(cfg)
+	if fl := res.FailureList(); len(fl) > 0 {
+		t.Fatalf("serve gates tripped: %s", strings.Join(fl, "; "))
+	}
+	s := res.Summary
+	if s.Requests < 2*cfg.ServeCorpus {
+		t.Fatalf("served %d requests, want at least two corpus passes (%d)", s.Requests, 2*cfg.ServeCorpus)
+	}
+	if s.JobsPerSec <= 0 || s.P50MS <= 0 || s.P99MS <= 0 {
+		t.Fatalf("summary missing SLO fields: %+v", s)
+	}
+	if s.CacheHits == 0 {
+		t.Fatalf("no cache hits on a repeating corpus: %+v", s)
+	}
+
+	// The JSON report written by the harness must satisfy the CI-side
+	// validator — the same round trip serve-smoke performs on the
+	// committed baseline.
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(f, "serve", res); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckServeReport(path); err != nil {
+		t.Fatalf("CheckServeReport on a fresh report: %v", err)
+	}
+}
+
+// CheckServeReport must reject the failure modes it exists to catch.
+func TestCheckServeReportRejects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name, content, want string
+	}{
+		{"garbage.json", "{not json", "invalid character"},
+		{"wrongexp.json", `{"experiment":"engines","tables":[]}`, `want "serve"`},
+		{"nosummary.json", `{"experiment":"serve","tables":[]}`, "missing serve summary"},
+		{"failures.json", `{"experiment":"serve","serve":{"requests":1,"jobs_per_sec":1,"hit_rate":0.5,"p50_ms":1,"p99_ms":1},"failures":["boom"],"tables":[]}`, "gate failures"},
+		{"norate.json", `{"experiment":"serve","serve":{"requests":1,"hit_rate":0.5,"p50_ms":1,"p99_ms":1},"tables":[]}`, "jobs/sec"},
+	}
+	for _, tc := range cases {
+		err := CheckServeReport(write(tc.name, tc.content))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := CheckServeReport(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file: got nil error")
+	}
+}

@@ -41,6 +41,31 @@ type SubmitRequest struct {
 	Engine  string    `json:"engine,omitempty"`
 	Engines []string  `json:"engines,omitempty"`
 	Config  JobConfig `json:"config,omitempty"`
+
+	// Cache selects the schedule-cache mode: empty consults the
+	// content-addressed cache (an identical prior submission's result is
+	// returned without a solve), CacheBypass forces a fresh solve — the
+	// escape hatch for benchmarking and for distrusting a cached entry.
+	// A bypassed solve still refreshes the cache.
+	Cache string `json:"cache,omitempty"`
+}
+
+// CacheBypass is the SubmitRequest.Cache value that forces a fresh solve.
+const CacheBypass = "bypass"
+
+// cacheKey addresses a submission in the schedule cache: the instance
+// digest pair (graph structure + processor system, the same FNV-1a
+// digests the pool's model memo uses) plus a digest of everything else
+// that shapes the answer — the engine selection and the full wire budget.
+// Two submissions with equal keys are the same question, so the cached
+// result is returned verbatim (modulo the job ID).
+func cacheKey(g *taskgraph.Graph, sys *procgraph.System, engines []string, cfg JobConfig) solverpool.CacheKey {
+	gd, sd := solverpool.InstanceDigest(g, sys)
+	blob, _ := json.Marshal(struct {
+		Engines []string  `json:"engines"`
+		Config  JobConfig `json:"config"`
+	}{engines, cfg})
+	return solverpool.CacheKey{Graph: gd, System: sd, Config: solverpool.BytesDigest(blob)}
 }
 
 // JobConfig is the budget/variant surface of engine.Config a network
@@ -163,9 +188,13 @@ type JobStatus struct {
 	Started  string      `json:"started,omitempty"`
 	Finished string      `json:"finished,omitempty"`
 	Progress JobProgress `json:"progress"`
-	Error    string      `json:"error,omitempty"`
-	Length   int32       `json:"length,omitempty"`
-	Optimal  bool        `json:"optimal,omitempty"`
+	// Cache reports the job's schedule-cache interaction: "hit" when the
+	// result was answered from the memo without a solve, "bypass" when the
+	// submitter skipped the lookup, absent on an ordinary miss.
+	Cache   string `json:"cache,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Length  int32  `json:"length,omitempty"`
+	Optimal bool   `json:"optimal,omitempty"`
 }
 
 // JobList is the body of GET /v1/jobs.
@@ -255,12 +284,18 @@ type EngineInfo struct {
 
 // Health is the body of GET /v1/healthz.
 type Health struct {
-	Status      string `json:"status"` // "ok" | "shutting-down"
-	Workers     int    `json:"workers"`
-	InFlight    int64  `json:"in_flight"`
-	Jobs        int    `json:"jobs"` // jobs currently retained in the store
-	ModelsBuilt int64  `json:"models_built"`
-	ModelHits   int64  `json:"model_hits"`
+	Status   string `json:"status"` // "ok" | "shutting-down"
+	Workers  int    `json:"workers"`
+	InFlight int64  `json:"in_flight"`
+	// Jobs counts live (queued or running) jobs. It used to count every
+	// retained job including finished ones — which made a daemon full of
+	// old results look loaded; RetainedJobs keeps that total.
+	Jobs         int   `json:"jobs"`
+	RetainedJobs int   `json:"retained_jobs"` // every job in the store, terminal included
+	ModelsBuilt  int64 `json:"models_built"`
+	ModelHits    int64 `json:"model_hits"`
+	// Cache is the schedule-cache view; absent when the cache is disabled.
+	Cache *solverpool.CacheStats `json:"cache,omitempty"`
 	// ActiveJobs counts retained jobs that are queued or running, and
 	// Capacity the solve slots they compete for: the local pool plus every
 	// live cluster worker. These two are the backpressure inputs — see

@@ -1,0 +1,195 @@
+package server
+
+// The /metrics endpoint: the daemon's counters in the Prometheus text
+// exposition format (hand-rolled — the repository takes no dependencies),
+// so any scraper or `curl | grep` can watch jobs by state, queue depth,
+// cache effectiveness, and per-engine search throughput. Counters are
+// monotone: per-engine search totals accumulate finished jobs' final
+// progress and add the live jobs' current snapshots on top (a finishing
+// job moves from the live sum to the finished sum at the same value).
+// Rates (expanded-states/sec, cache hit ratio) are left to the scraper —
+// `rate(icpp98_engine_expanded_total[1m])` — with uptime exported for
+// hand computation.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics accumulates the server-lifetime counters the store cannot
+// answer after jobs are swept: submissions, completions by state, and
+// per-engine search totals folded in at finish time.
+type metrics struct {
+	start     time.Time
+	submitted atomic.Int64
+	done      atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+
+	mu      sync.Mutex
+	engines map[string]*engineTotals // finished jobs' final counters
+}
+
+// engineTotals is one engine-selection's accumulated search effort.
+type engineTotals struct {
+	expanded    int64
+	generated   int64
+	prunedEquiv int64
+	prunedFTO   int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), engines: map[string]*engineTotals{}}
+}
+
+// engineKey labels a job's engine selection: the single engine, or the
+// comma-joined portfolio (its progress aggregates across entrants, so the
+// portfolio is the honest attribution unit).
+func engineKey(engines []string) string { return strings.Join(engines, ",") }
+
+// recordFinish folds a terminal job into the lifetime counters.
+func (m *metrics) recordFinish(state string, j *job) {
+	switch state {
+	case StateDone:
+		m.done.Add(1)
+	case StateFailed:
+		m.failed.Add(1)
+	case StateCancelled:
+		m.cancelled.Add(1)
+	}
+	expanded, generated := j.progress.Snapshot()
+	equiv, fto := j.progress.SnapshotPruned()
+	m.mu.Lock()
+	t := m.engines[engineKey(j.engines)]
+	if t == nil {
+		t = &engineTotals{}
+		m.engines[engineKey(j.engines)] = t
+	}
+	t.expanded += expanded
+	t.generated += generated
+	t.prunedEquiv += equiv
+	t.prunedFTO += fto
+	m.mu.Unlock()
+}
+
+// engineSnapshot returns the per-engine totals: finished accumulations
+// plus the live jobs' current progress.
+func (m *metrics) engineSnapshot(live []*job) map[string]engineTotals {
+	out := map[string]engineTotals{}
+	m.mu.Lock()
+	for k, t := range m.engines {
+		out[k] = *t
+	}
+	m.mu.Unlock()
+	for _, j := range live {
+		expanded, generated := j.progress.Snapshot()
+		equiv, fto := j.progress.SnapshotPruned()
+		t := out[engineKey(j.engines)]
+		t.expanded += expanded
+		t.generated += generated
+		t.prunedEquiv += equiv
+		t.prunedFTO += fto
+		out[engineKey(j.engines)] = t
+	}
+	return out
+}
+
+// handleMetrics renders the Prometheus text form. Every line is written
+// into one buffer and served whole, so a scrape never sees a half-updated
+// family.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	put := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	states := s.store.stateCounts()
+	put("# HELP icpp98_jobs Retained jobs by state.")
+	put("# TYPE icpp98_jobs gauge")
+	for _, state := range []string{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		put(`icpp98_jobs{state=%q} %d`, state, states[state])
+	}
+	put("# HELP icpp98_queue_depth Jobs admitted but not yet running.")
+	put("# TYPE icpp98_queue_depth gauge")
+	put("icpp98_queue_depth %d", states[StateQueued])
+
+	put("# HELP icpp98_jobs_submitted_total Jobs admitted since start.")
+	put("# TYPE icpp98_jobs_submitted_total counter")
+	put("icpp98_jobs_submitted_total %d", s.metrics.submitted.Load())
+	put("# HELP icpp98_jobs_finished_total Jobs finished since start, by terminal state.")
+	put("# TYPE icpp98_jobs_finished_total counter")
+	put(`icpp98_jobs_finished_total{state="done"} %d`, s.metrics.done.Load())
+	put(`icpp98_jobs_finished_total{state="failed"} %d`, s.metrics.failed.Load())
+	put(`icpp98_jobs_finished_total{state="cancelled"} %d`, s.metrics.cancelled.Load())
+
+	ps := s.pool.Stats()
+	put("# HELP icpp98_pool_inflight Solves currently executing on the local pool.")
+	put("# TYPE icpp98_pool_inflight gauge")
+	put("icpp98_pool_inflight %d", s.pool.InFlight())
+	put("# HELP icpp98_models_built_total Distinct instance models compiled.")
+	put("# TYPE icpp98_models_built_total counter")
+	put("icpp98_models_built_total %d", ps.ModelsBuilt)
+	put("# HELP icpp98_model_hits_total Solves served a memoized model.")
+	put("# TYPE icpp98_model_hits_total counter")
+	put("icpp98_model_hits_total %d", ps.ModelHits)
+
+	cs := s.cache.Stats()
+	put("# HELP icpp98_cache_hits_total Schedule-cache lookups answered from the memo.")
+	put("# TYPE icpp98_cache_hits_total counter")
+	put("icpp98_cache_hits_total %d", cs.Hits)
+	put("# HELP icpp98_cache_misses_total Schedule-cache lookups that had to solve.")
+	put("# TYPE icpp98_cache_misses_total counter")
+	put("icpp98_cache_misses_total %d", cs.Misses)
+	put("# HELP icpp98_cache_bypass_total Submissions that asked to bypass the schedule cache.")
+	put("# TYPE icpp98_cache_bypass_total counter")
+	put("icpp98_cache_bypass_total %d", cs.Bypasses)
+	put("# HELP icpp98_cache_entries Schedule-cache resident results.")
+	put("# TYPE icpp98_cache_entries gauge")
+	put("icpp98_cache_entries %d", cs.Entries)
+	put("# HELP icpp98_cache_bytes Schedule-cache resident payload bytes.")
+	put("# TYPE icpp98_cache_bytes gauge")
+	put("icpp98_cache_bytes %d", cs.Bytes)
+
+	live := []*job{}
+	for _, j := range s.store.list() {
+		if !terminal(s.store.status(j).State) {
+			live = append(live, j)
+		}
+	}
+	totals := s.metrics.engineSnapshot(live)
+	keys := make([]string, 0, len(totals))
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	put("# HELP icpp98_engine_expanded_total Search states expanded, by engine selection.")
+	put("# TYPE icpp98_engine_expanded_total counter")
+	for _, k := range keys {
+		put(`icpp98_engine_expanded_total{engine=%q} %d`, k, totals[k].expanded)
+	}
+	put("# HELP icpp98_engine_generated_total Search states generated, by engine selection.")
+	put("# TYPE icpp98_engine_generated_total counter")
+	for _, k := range keys {
+		put(`icpp98_engine_generated_total{engine=%q} %d`, k, totals[k].generated)
+	}
+	put("# HELP icpp98_engine_pruned_equiv_total Ready nodes skipped by equivalent-task pruning, by engine selection.")
+	put("# TYPE icpp98_engine_pruned_equiv_total counter")
+	for _, k := range keys {
+		put(`icpp98_engine_pruned_equiv_total{engine=%q} %d`, k, totals[k].prunedEquiv)
+	}
+	put("# HELP icpp98_engine_pruned_fto_total Ready nodes collapsed by fixed-task-order pruning, by engine selection.")
+	put("# TYPE icpp98_engine_pruned_fto_total counter")
+	for _, k := range keys {
+		put(`icpp98_engine_pruned_fto_total{engine=%q} %d`, k, totals[k].prunedFTO)
+	}
+
+	put("# HELP icpp98_uptime_seconds Seconds since the server started.")
+	put("# TYPE icpp98_uptime_seconds gauge")
+	put("icpp98_uptime_seconds %.3f", time.Since(s.metrics.start).Seconds())
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}

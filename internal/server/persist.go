@@ -1,0 +1,425 @@
+package server
+
+// This file is the durable half of the job store: fileStore layers an
+// append-only write-ahead log plus periodic snapshot compaction on the
+// in-memory memStore, so a daemon restart recovers every retained job
+// instead of dropping them all.
+//
+// On-disk layout under the store directory (-store-dir):
+//
+//	jobs.json   snapshot: {"schema":1,"seq":N,"jobs":[jobRecord...]},
+//	            rewritten atomically (temp file + rename) at compaction
+//	wal.jsonl   append-only JSON-lines WAL; each line is one jobRecord
+//	            carrying the job's full state after a mutation ("put"),
+//	            or a tombstone ("delete") for sweeps/evictions
+//
+// Recovery replays the snapshot, then the WAL in order. Records are
+// idempotent full-state puts, merged by state precedence (terminal beats
+// running beats queued), so the crash window between a snapshot rename
+// and the WAL truncation — where the WAL still holds records the snapshot
+// already absorbed — replays harmlessly. A torn final WAL line (the
+// normal crash artifact) ends replay at the last intact record. Jobs that
+// were queued or running at the crash cannot be resumed (their contexts
+// and solver state died with the process); they are recovered as failed
+// with an "interrupted" error so clients see an honest terminal state.
+// Terminal records fsync on append; the snapshot fsyncs before rename.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/procgraph"
+	"repro/internal/solverpool"
+	"repro/internal/taskgraph"
+)
+
+const (
+	snapshotName = "jobs.json"
+	walName      = "wal.jsonl"
+	storeSchema  = 1
+	// compactEvery bounds WAL growth: after this many appended records the
+	// live table is snapshotted and the WAL truncated.
+	compactEvery = 1024
+	// maxRecordBytes bounds one WAL line / snapshot, matching the submit
+	// body bound — no legitimate record outgrows the largest instance.
+	maxRecordBytes = 16 << 20
+)
+
+// jobRecord is the persisted form of one job: everything a restarted
+// daemon needs to serve status, list, and result for the job — including
+// the instance itself, so ?format=gantt still renders after recovery.
+type jobRecord struct {
+	Op          string          `json:"op,omitempty"` // "" | "put" | "delete" (WAL only)
+	Seq         int64           `json:"seq,omitempty"`
+	ID          string          `json:"id"`
+	State       string          `json:"state,omitempty"`
+	Engines     []string        `json:"engines,omitempty"`
+	Config      JobConfig       `json:"config"`
+	Graph       json.RawMessage `json:"graph,omitempty"`
+	System      json.RawMessage `json:"system,omitempty"`
+	Created     time.Time       `json:"created"`
+	Started     time.Time       `json:"started,omitzero"`
+	Finished    time.Time       `json:"finished,omitzero"`
+	Cancelled   bool            `json:"cancelled,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Result      *JobResult      `json:"result,omitempty"`
+	Expanded    int64           `json:"expanded,omitempty"`
+	Generated   int64           `json:"generated,omitempty"`
+	PrunedEquiv int64           `json:"pruned_equiv,omitempty"`
+	PrunedFTO   int64           `json:"pruned_fto,omitempty"`
+}
+
+// storeSnapshot is the jobs.json document.
+type storeSnapshot struct {
+	Schema int         `json:"schema"`
+	Seq    int64       `json:"seq"`
+	Jobs   []jobRecord `json:"jobs"`
+}
+
+// decodeRecord parses one WAL line strictly: valid JSON, a known op, and
+// a non-empty ID — anything else is an error, never a panic (fuzzed by
+// FuzzStoreDecode).
+func decodeRecord(line []byte) (jobRecord, error) {
+	var rec jobRecord
+	dec := json.NewDecoder(bytes.NewReader(line))
+	if err := dec.Decode(&rec); err != nil {
+		return jobRecord{}, err
+	}
+	switch rec.Op {
+	case "", "put", "delete":
+	default:
+		return jobRecord{}, fmt.Errorf("server: unknown WAL op %q", rec.Op)
+	}
+	if rec.ID == "" {
+		return jobRecord{}, fmt.Errorf("server: WAL record without a job id")
+	}
+	return rec, nil
+}
+
+// stateRank orders states for the replay merge: a stale WAL record must
+// never regress a job the snapshot already saw further along.
+func stateRank(state string) int {
+	switch state {
+	case StateQueued:
+		return 0
+	case StateRunning:
+		return 1
+	default: // terminal
+		return 2
+	}
+}
+
+// decodeSnapshot parses and validates a jobs.json document.
+func decodeSnapshot(data []byte) (*storeSnapshot, error) {
+	var snap storeSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("server: corrupt store snapshot: %w", err)
+	}
+	if snap.Schema != storeSchema {
+		return nil, fmt.Errorf("server: store snapshot schema %d, want %d", snap.Schema, storeSchema)
+	}
+	for _, rec := range snap.Jobs {
+		if rec.ID == "" {
+			return nil, fmt.Errorf("server: store snapshot holds a record without a job id")
+		}
+	}
+	return &snap, nil
+}
+
+// loadRecords reads the snapshot and replays the WAL, returning the merged
+// live records and the largest ID sequence number seen anywhere.
+func loadRecords(dir string) (map[string]jobRecord, int64, error) {
+	recs := map[string]jobRecord{}
+	var seq int64
+	if data, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
+		snap, err := decodeSnapshot(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		seq = snap.Seq
+		for _, rec := range snap.Jobs {
+			recs[rec.ID] = rec
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, 0, err
+	}
+
+	f, err := os.Open(filepath.Join(dir, walName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return recs, seq, nil
+		}
+		return nil, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), maxRecordBytes)
+	for sc.Scan() {
+		rec, err := decodeRecord(sc.Bytes())
+		if err != nil {
+			// A torn or corrupt line ends replay at the last intact record
+			// — the records behind it are already durable.
+			break
+		}
+		if rec.Seq > seq {
+			seq = rec.Seq
+		}
+		if rec.Op == "delete" {
+			delete(recs, rec.ID)
+			continue
+		}
+		if prev, ok := recs[rec.ID]; ok && stateRank(rec.State) < stateRank(prev.State) {
+			continue
+		}
+		recs[rec.ID] = rec
+	}
+	// A scanner error (oversized line) likewise truncates replay.
+	return recs, seq, nil
+}
+
+// recordOf snapshots a job into its persisted form; the caller holds the
+// store mutex.
+func recordOf(op storeOp, j *job, seq int64) jobRecord {
+	rec := jobRecord{
+		Seq:       seq,
+		ID:        j.id,
+		State:     j.state,
+		Engines:   j.engines,
+		Config:    j.config,
+		Graph:     j.rawGraph,
+		System:    j.rawSystem,
+		Created:   j.created,
+		Started:   j.started,
+		Finished:  j.finished,
+		Cancelled: j.cancelled,
+		Error:     j.errMessage,
+		Result:    j.result,
+	}
+	if op == opDelete {
+		// Tombstones carry no payload; replay only needs the ID.
+		return jobRecord{Op: "delete", Seq: seq, ID: j.id}
+	}
+	rec.Op = "put"
+	rec.Expanded, rec.Generated = j.progress.Snapshot()
+	rec.PrunedEquiv, rec.PrunedFTO = j.progress.SnapshotPruned()
+	return rec
+}
+
+// toJob rebuilds a live job from a recovered record. Jobs that were
+// queued or running when the process died are rewritten as failed with an
+// "interrupted" error — their solver state is unrecoverable, and an
+// honest terminal state beats a job stuck "running" forever.
+func (rec jobRecord) toJob(now time.Time) (*job, error) {
+	g, err := taskgraph.FromJSON(rec.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("server: job %s: recovering graph: %w", rec.ID, err)
+	}
+	sys, err := procgraph.FromJSON(rec.System)
+	if err != nil {
+		return nil, fmt.Errorf("server: job %s: recovering system: %w", rec.ID, err)
+	}
+	if !terminal(rec.State) {
+		rec.Error = fmt.Sprintf("interrupted: daemon restarted while the job was %s", rec.State)
+		rec.State = StateFailed
+		rec.Finished = now
+		rec.Result = nil
+	}
+	j := &job{
+		id:         rec.ID,
+		graph:      g,
+		system:     sys,
+		engines:    rec.Engines,
+		config:     rec.Config,
+		rawGraph:   rec.Graph,
+		rawSystem:  rec.System,
+		cancel:     func() {},
+		progress:   &solverpool.Progress{},
+		done:       make(chan struct{}),
+		state:      rec.State,
+		created:    rec.Created,
+		started:    rec.Started,
+		finished:   rec.Finished,
+		cancelled:  rec.Cancelled,
+		result:     rec.Result,
+		errMessage: rec.Error,
+	}
+	j.progress.Record(rec.Expanded, rec.Generated)
+	j.progress.RecordPruned(rec.PrunedEquiv, rec.PrunedFTO)
+	close(j.done) // recovered jobs are terminal; waiters must not block
+	if j.result != nil {
+		j.result.State = j.state
+	}
+	return j, nil
+}
+
+// idSeq extracts the numeric suffix of a job-N ID (0 if malformed).
+func idSeq(id string) int64 {
+	n, err := strconv.ParseInt(strings.TrimPrefix(id, "job-"), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// fileStore is the durable JobStore: the in-memory store plus a WAL the
+// memStore's mutation sink appends to under the store mutex (keeping the
+// on-disk history ordered exactly like the in-memory one), compacted into
+// a snapshot every compactEvery records.
+type fileStore struct {
+	*memStore
+	dir        string
+	wal        *os.File
+	walRecords int
+}
+
+// openFileStore opens (or creates) the store directory, recovers the
+// retained jobs, rewrites a fresh snapshot reflecting the recovered state
+// (so interruption rewrites are durable and the next start replays
+// nothing), and arms the WAL sink.
+func openFileStore(dir string, cap int, ttl time.Duration) (*fileStore, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	fs := &fileStore{memStore: newStore(cap, ttl), dir: dir}
+	recs, seq, err := loadRecords(dir)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	for _, rec := range recs {
+		j, err := rec.toJob(now)
+		if err != nil {
+			// A record whose instance no longer parses is unrecoverable;
+			// drop it rather than refuse every other job.
+			fmt.Fprintln(os.Stderr, "icpp98d:", err)
+			continue
+		}
+		fs.jobs[j.id] = j
+		if n := idSeq(j.id); n > seq {
+			seq = n
+		}
+	}
+	fs.seq = seq
+	// Respect the capacity bound on the recovered population (a smaller
+	// -store than the previous run, say) by evicting oldest-terminal.
+	for len(fs.jobs) > cap {
+		if !fs.evictOldestTerminalLocked() {
+			break
+		}
+	}
+	if err := fs.compactLocked(); err != nil {
+		return nil, err
+	}
+	fs.sink = fs.appendLocked
+	return fs, nil
+}
+
+// add marshals the instance into its canonical persisted form before
+// admission, so the sink (running under the store mutex) never marshals.
+func (fs *fileStore) add(j *job) (string, error) {
+	var err error
+	if j.rawGraph, err = json.Marshal(j.graph); err != nil {
+		return "", err
+	}
+	if j.rawSystem, err = json.Marshal(j.system); err != nil {
+		return "", err
+	}
+	return fs.memStore.add(j)
+}
+
+// appendLocked is the memStore sink: persist one mutation. Called under
+// the store mutex; file errors are reported but do not fail the mutation
+// — the in-memory store stays authoritative for the live process.
+func (fs *fileStore) appendLocked(op storeOp, j *job) {
+	rec := recordOf(op, j, fs.seq)
+	line, err := json.Marshal(rec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icpp98d: persisting job record:", err)
+		return
+	}
+	if _, err := fs.wal.Write(append(line, '\n')); err != nil {
+		fmt.Fprintln(os.Stderr, "icpp98d: appending to WAL:", err)
+		return
+	}
+	fs.walRecords++
+	if op == opPut && terminal(j.state) {
+		// Terminal records are the ones a restart must not lose.
+		fs.wal.Sync()
+	}
+	if fs.walRecords >= compactEvery {
+		if err := fs.compactLocked(); err != nil {
+			fmt.Fprintln(os.Stderr, "icpp98d: compacting job store:", err)
+		}
+	}
+}
+
+// compactLocked writes a snapshot of the live table (temp file + fsync +
+// rename, so a crash leaves either the old or the new snapshot intact)
+// and truncates the WAL. Called under the store mutex, or before
+// concurrency starts.
+func (fs *fileStore) compactLocked() error {
+	snap := storeSnapshot{Schema: storeSchema, Seq: fs.seq, Jobs: []jobRecord{}}
+	for _, j := range fs.jobs {
+		snap.Jobs = append(snap.Jobs, recordOf(opPut, j, fs.seq))
+	}
+	sort.Slice(snap.Jobs, func(i, k int) bool { return idSeq(snap.Jobs[i].ID) < idSeq(snap.Jobs[k].ID) })
+	data, err := json.MarshalIndent(&snap, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(fs.dir, snapshotName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(fs.dir, snapshotName)); err != nil {
+		return err
+	}
+	// Truncate the WAL only after the snapshot rename: a crash in between
+	// replays the absorbed records idempotently on top of the snapshot.
+	if fs.wal != nil {
+		fs.wal.Close()
+	}
+	wal, err := os.Create(filepath.Join(fs.dir, walName))
+	if err != nil {
+		return err
+	}
+	fs.wal = wal
+	fs.walRecords = 0
+	return nil
+}
+
+// close compacts one last time (making the snapshot the complete record
+// and leaving an empty WAL) and releases the file.
+func (fs *fileStore) close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	err := fs.compactLocked()
+	if fs.wal != nil {
+		if cerr := fs.wal.Close(); err == nil {
+			err = cerr
+		}
+		fs.wal = nil
+	}
+	// Disarm the sink: any straggling mutation after close stays in memory.
+	fs.sink = nil
+	return err
+}

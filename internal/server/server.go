@@ -50,7 +50,7 @@ import (
 )
 
 // Config sizes a Server. The zero value is usable: GOMAXPROCS workers, a
-// 1024-job store, 15-minute retention.
+// 1024-job store, 15-minute retention, a 64 MiB schedule cache.
 type Config struct {
 	// Workers bounds concurrently running jobs; < 1 selects GOMAXPROCS.
 	Workers int
@@ -58,6 +58,17 @@ type Config struct {
 	StoreCap int
 	// TTL is how long terminal jobs stay fetchable; <= 0 selects 15m.
 	TTL time.Duration
+	// StoreDir, when set, selects the file-backed job store: every job
+	// mutation is appended to a WAL under this directory (compacted into a
+	// snapshot periodically), and a restarted server recovers the retained
+	// jobs — terminal results stay fetchable, interrupted jobs read failed.
+	// Empty keeps the in-memory store. See persist.go / DESIGN.md §10.
+	StoreDir string
+	// CacheBytes bounds the content-addressed schedule cache: identical
+	// submissions (same instance digest, engine selection, and budget) are
+	// answered from the memoized result without a solve. 0 selects 64 MiB;
+	// negative disables the cache.
+	CacheBytes int64
 	// StreamInterval is the /events snapshot cadence; <= 0 selects 250ms.
 	StreamInterval time.Duration
 	// BacklogPerSlot, when > 0, turns submissions away with 503 once the
@@ -127,7 +138,9 @@ type ClusterBackend interface {
 // wait for the workers to drain.
 type Server struct {
 	pool       *solverpool.Pool
-	store      *store
+	store      JobStore
+	cache      *solverpool.ResultCache // nil when disabled
+	metrics    *metrics
 	mux        *http.ServeMux
 	sem        chan struct{}
 	interval   time.Duration
@@ -140,8 +153,22 @@ type Server struct {
 	wg         sync.WaitGroup
 }
 
-// New builds a Server and its solver pool.
+// New builds a Server and its solver pool with the in-memory job store.
+// It panics on a store error, which only the file-backed store (StoreDir)
+// can produce — durable callers use Open and handle the error.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a Server and its solver pool. With Config.StoreDir set the
+// job store is file-backed and the previous run's jobs are recovered
+// before the first request is served; opening the store is the only error
+// path.
+func Open(cfg Config) (*Server, error) {
 	if cfg.StoreCap < 1 {
 		cfg.StoreCap = 1024
 	}
@@ -151,10 +178,25 @@ func New(cfg Config) *Server {
 	if cfg.StreamInterval <= 0 {
 		cfg.StreamInterval = 250 * time.Millisecond
 	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	var store JobStore
+	if cfg.StoreDir != "" {
+		fs, err := openFileStore(cfg.StoreDir, cfg.StoreCap, cfg.TTL)
+		if err != nil {
+			return nil, fmt.Errorf("server: opening job store in %s: %w", cfg.StoreDir, err)
+		}
+		store = fs
+	} else {
+		store = newStore(cfg.StoreCap, cfg.TTL)
+	}
 	pool := solverpool.New(cfg.Workers)
 	s := &Server{
 		pool:     pool,
-		store:    newStore(cfg.StoreCap, cfg.TTL),
+		store:    store,
+		cache:    solverpool.NewResultCache(cfg.CacheBytes),
+		metrics:  newMetrics(),
 		sem:      make(chan struct{}, pool.Workers()),
 		interval: cfg.StreamInterval,
 		backlog:  cfg.BacklogPerSlot,
@@ -169,7 +211,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
-	return s
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -198,12 +241,15 @@ func (s *Server) capacity() int {
 
 // Close cancels every queued and running job and blocks until the job
 // goroutines have drained — the engines poll their budgets once per
-// expansion, so this returns promptly even mid-search.
+// expansion, so this returns promptly even mid-search. A file-backed
+// store is compacted and released last, after every job has recorded its
+// terminal state.
 func (s *Server) Close() {
 	s.closeMu.Lock()
 	s.baseCancel()
 	s.closeMu.Unlock()
 	s.wg.Wait()
+	s.store.close()
 }
 
 func WriteJSON(w http.ResponseWriter, code int, v any) {
@@ -253,6 +299,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, "bad config: %v", err)
 		return
 	}
+	if req.Cache != "" && req.Cache != CacheBypass {
+		WriteError(w, http.StatusBadRequest, "bad cache mode %q (want %q or empty)", req.Cache, CacheBypass)
+		return
+	}
 	// The backlog check is the cluster-aware backpressure: the cap scales
 	// with the live aggregate capacity, so a fleet losing workers starts
 	// refusing load before the store fills with jobs nobody can run.
@@ -273,11 +323,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		cancel:   cancel,
 		progress: &solverpool.Progress{},
 	}
+	if s.cache != nil {
+		// The key is computed at admission — the instance digest pair plus
+		// the configuration digest — whether or not this submission
+		// consults the cache: a bypassed solve still refreshes the memo.
+		j.cacheKey = cacheKey(g, sys, names, req.Config)
+		j.cacheOK = true
+		j.cacheBypass = req.Cache == CacheBypass
+		if j.cacheBypass {
+			s.cache.NoteBypass()
+		}
+	}
 	id, err := s.store.add(j)
 	if err != nil {
 		cancel()
 		WriteError(w, http.StatusServiceUnavailable, "%v", err)
 		return
+	}
+	s.metrics.submitted.Add(1)
+	if req.Cache == CacheBypass {
+		s.store.noteCache(j, CacheBypass)
 	}
 
 	cfg := req.Config.EngineConfig()
@@ -306,12 +371,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // cancellation or server shutdown (budgets cut searches off internally,
 // without touching the context), so the terminal state must read
 // cancelled either way — even when the interrupted engine still handed
-// back an incumbent schedule, which is kept.
+// back an incumbent schedule, which is kept. A completed solve also
+// feeds the lifetime metrics and the schedule cache: the memoized copy
+// has its job ID cleared, since the cache is keyed by content, not by
+// which job computed it.
 func (s *Server) finishJob(ctx context.Context, j *job, res *JobResult, errMessage string) {
 	if ctx.Err() != nil {
 		s.store.noteInterrupted(j)
 	}
-	s.store.finish(j, res, errMessage)
+	final := s.store.finish(j, res, errMessage)
+	if final == "" {
+		return // a racing finisher already recorded the outcome
+	}
+	s.metrics.recordFinish(final, j)
+	if final == StateDone && res != nil && s.cache != nil && j.cacheOK {
+		cp := *res
+		cp.ID = ""
+		if data, err := json.Marshal(cp); err == nil {
+			s.cache.Put(j.cacheKey, data)
+		}
+	}
 }
 
 // run is the job's lifecycle goroutine: offer the job to the cluster when
@@ -323,6 +402,28 @@ func (s *Server) finishJob(ctx context.Context, j *job, res *JobResult, errMessa
 func (s *Server) run(ctx context.Context, j *job, cfg engine.Config) {
 	defer s.wg.Done()
 	defer j.cancel()
+	// The schedule cache answers first: an identical prior submission's
+	// result is returned without touching the cluster or the pool. The
+	// memoized payload is the finished job's wire result with the ID
+	// cleared, so refilling this job's ID yields a byte-identical answer.
+	// The job still transitions queued → running → done (markRunning also
+	// honors a cancel that beat us here), with zero progress counters —
+	// the observable proof that no search ran.
+	if j.cacheOK && !j.cacheBypass {
+		if data, ok := s.cache.Get(j.cacheKey); ok {
+			var res JobResult
+			if err := json.Unmarshal(data, &res); err == nil {
+				res.ID = j.id
+				if s.store.markRunning(j) {
+					s.store.noteCache(j, "hit")
+					s.finishJob(ctx, j, &res, "")
+				} else {
+					s.finishJob(ctx, j, nil, "")
+				}
+				return
+			}
+		}
+	}
 	if d := s.dispatcher; d != nil {
 		if d.FreeSlots() <= 0 {
 			// Every remote slot is busy (or absent) at admission time: an
@@ -544,14 +645,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	ps := s.pool.Stats()
 	h := Health{
-		Status:      status,
-		Workers:     s.pool.Workers(),
-		InFlight:    s.pool.InFlight(),
-		Jobs:        s.store.count(),
-		ModelsBuilt: ps.ModelsBuilt,
-		ModelHits:   ps.ModelHits,
-		ActiveJobs:  s.store.active(),
-		Capacity:    s.capacity(),
+		Status:   status,
+		Workers:  s.pool.Workers(),
+		InFlight: s.pool.InFlight(),
+		// Jobs counts live work only: a store full of finished (or
+		// recovered) results must not make the daemon look loaded.
+		Jobs:         s.store.active(),
+		RetainedJobs: s.store.count(),
+		ModelsBuilt:  ps.ModelsBuilt,
+		ModelHits:    ps.ModelHits,
+		ActiveJobs:   s.store.active(),
+		Capacity:     s.capacity(),
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		h.Cache = &cs
 	}
 	if s.dispatcher != nil {
 		h.Cluster = s.dispatcher.Health()

@@ -655,9 +655,10 @@ func TestStoreTTLEviction(t *testing.T) {
 	waitTerminal(t, base, a.ID)
 
 	// Jump the store's clock past the TTL.
-	srv.store.mu.Lock()
-	srv.store.now = func() time.Time { return time.Now().Add(2 * time.Minute) }
-	srv.store.mu.Unlock()
+	ms := srv.store.(*memStore)
+	ms.mu.Lock()
+	ms.now = func() time.Time { return time.Now().Add(2 * time.Minute) }
+	ms.mu.Unlock()
 
 	resp, err := http.Get(base + "/v1/jobs/" + a.ID)
 	if err != nil {

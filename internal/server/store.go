@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -32,6 +33,20 @@ type job struct {
 	engines []string
 	config  JobConfig // the submitter's wire budget, re-serialized for cluster leases
 
+	// rawGraph/rawSystem are the canonical JSON forms of the instance, set
+	// by the file-backed store at admission so every persisted record (and
+	// a restart's recovery) carries the instance verbatim.
+	rawGraph  json.RawMessage
+	rawSystem json.RawMessage
+
+	// cacheKey addresses this submission in the schedule cache; cacheOK
+	// marks the key valid (cache enabled), cacheBypass that the submitter
+	// asked to skip the lookup. Both are immutable after admission.
+	cacheKey    solverpool.CacheKey
+	cacheOK     bool
+	cacheBypass bool
+	cacheNote   string // "" | "hit" | "bypass", surfaced in JobStatus.Cache
+
 	cancel   context.CancelFunc
 	progress *solverpool.Progress
 	done     chan struct{} // closed when the job reaches a terminal state
@@ -46,22 +61,77 @@ type job struct {
 	errMessage string
 }
 
-// store retains jobs in memory, bounded two ways: terminal jobs older than
-// ttl are swept on every access, and when the population hits cap the
+// JobStore is the retention layer behind the Server: the in-memory
+// memStore is the default, and the file-backed fileStore layers an
+// append-only WAL plus snapshot compaction on top of it so a daemon
+// restart recovers its jobs (see persist.go). The interface is satisfied
+// in-package only — the job type carries live state (contexts, channels)
+// that cannot cross a process boundary; what persists is the jobRecord.
+type JobStore interface {
+	// add admits a new job, assigning its ID; it fails with errStoreFull
+	// when the store is at capacity with no terminal job to evict.
+	add(j *job) (string, error)
+	// remove unconditionally drops a job that must leave no record.
+	remove(id string)
+	// get returns the job, or nil if unknown or expired.
+	get(id string) *job
+	// list returns every retained job, oldest first.
+	list() []*job
+	// count returns the retained-job population (terminal jobs included).
+	count() int
+	// active counts the queued and running jobs.
+	active() int
+	// stateCounts returns the retained-job population per state.
+	stateCounts() map[string]int
+	// markRunning transitions queued → running (idempotently).
+	markRunning(j *job) bool
+	// finish moves a job to its terminal state and returns that state, or
+	// "" when the job was already terminal.
+	finish(j *job, result *JobResult, errMessage string) string
+	// noteInterrupted flags the job as cancelled without firing its context.
+	noteInterrupted(j *job)
+	// requestCancel flags the job as cancelled and fires its context.
+	requestCancel(j *job) bool
+	// noteCache records how the schedule cache treated the submission.
+	noteCache(j *job, note string)
+	// status snapshots a job into its wire form.
+	status(j *job) JobStatus
+	// nextEvent snapshots a job for /events with the next sequence number.
+	nextEvent(j *job) JobStatus
+	// resultOf returns the job's result when it has one.
+	resultOf(j *job) *JobResult
+	// close releases any resources (files) the store holds.
+	close() error
+}
+
+// storeOp tags a persistence-sink invocation.
+type storeOp int
+
+const (
+	opPut    storeOp = iota // the job's current state must be persisted
+	opDelete                // the job left the store (sweep, eviction, remove)
+)
+
+// memStore retains jobs in memory, bounded two ways: terminal jobs older
+// than ttl are swept on every access, and when the population hits cap the
 // oldest terminal job is evicted to admit a new one. Active jobs are never
 // evicted — a full store of purely active jobs rejects new submissions,
 // which is the backpressure a bounded service wants.
-type store struct {
+type memStore struct {
 	mu   sync.Mutex
 	jobs map[string]*job
 	cap  int
 	ttl  time.Duration
 	seq  int64
 	now  func() time.Time // injectable clock for eviction tests
+	// sink, when non-nil, observes every mutation under mu — the hook the
+	// file-backed store persists through. Running it under the lock keeps
+	// the WAL ordered exactly like the in-memory history.
+	sink func(op storeOp, j *job)
 }
 
-func newStore(cap int, ttl time.Duration) *store {
-	return &store{jobs: map[string]*job{}, cap: cap, ttl: ttl, now: time.Now}
+func newStore(cap int, ttl time.Duration) *memStore {
+	return &memStore{jobs: map[string]*job{}, cap: cap, ttl: ttl, now: time.Now}
 }
 
 // errStoreFull reports an admission rejection (HTTP 503).
@@ -69,7 +139,7 @@ var errStoreFull = fmt.Errorf("server: job store is full of active jobs")
 
 // add admits a new job, sweeping expired entries and evicting the oldest
 // terminal job if the store is at capacity.
-func (st *store) add(j *job) (string, error) {
+func (st *memStore) add(j *job) (string, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.sweepLocked()
@@ -84,20 +154,24 @@ func (st *store) add(j *job) (string, error) {
 	j.created = st.now()
 	j.done = make(chan struct{})
 	st.jobs[j.id] = j
+	st.persistLocked(opPut, j)
 	return j.id, nil
 }
 
 // remove unconditionally drops a job, used when an admitted job loses the
 // race against server shutdown and must leave no record (its submitter was
 // told 503).
-func (st *store) remove(id string) {
+func (st *memStore) remove(id string) {
 	st.mu.Lock()
-	delete(st.jobs, id)
+	if j, ok := st.jobs[id]; ok {
+		delete(st.jobs, id)
+		st.persistLocked(opDelete, j)
+	}
 	st.mu.Unlock()
 }
 
 // get returns the job, or nil after sweeping if it is unknown or expired.
-func (st *store) get(id string) *job {
+func (st *memStore) get(id string) *job {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.sweepLocked()
@@ -105,7 +179,7 @@ func (st *store) get(id string) *job {
 }
 
 // list returns every retained job, oldest first.
-func (st *store) list() []*job {
+func (st *memStore) list() []*job {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.sweepLocked()
@@ -118,7 +192,7 @@ func (st *store) list() []*job {
 }
 
 // count returns the retained-job population.
-func (st *store) count() int {
+func (st *memStore) count() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.sweepLocked()
@@ -127,7 +201,9 @@ func (st *store) count() int {
 
 // active counts the queued and running jobs — the population the backlog
 // backpressure check compares against the aggregate solve capacity.
-func (st *store) active() int {
+// Terminal-but-retained jobs never count here: retention (and, with a
+// file-backed store, recovery) must not wedge admission.
+func (st *memStore) active() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	n := 0
@@ -139,8 +215,21 @@ func (st *store) active() int {
 	return n
 }
 
+// stateCounts returns the retained-job population per state — the
+// /metrics gauge family.
+func (st *memStore) stateCounts() map[string]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked()
+	out := map[string]int{}
+	for _, j := range st.jobs {
+		out[j.state]++
+	}
+	return out
+}
+
 // sweepLocked drops terminal jobs whose TTL has lapsed.
-func (st *store) sweepLocked() {
+func (st *memStore) sweepLocked() {
 	if st.ttl <= 0 {
 		return
 	}
@@ -148,13 +237,14 @@ func (st *store) sweepLocked() {
 	for id, j := range st.jobs {
 		if terminal(j.state) && j.finished.Before(cutoff) {
 			delete(st.jobs, id)
+			st.persistLocked(opDelete, j)
 		}
 	}
 }
 
 // evictOldestTerminalLocked removes the terminal job that finished first;
 // it reports false when every retained job is still active.
-func (st *store) evictOldestTerminalLocked() bool {
+func (st *memStore) evictOldestTerminalLocked() bool {
 	var victim string
 	var oldest time.Time
 	for id, j := range st.jobs {
@@ -168,9 +258,22 @@ func (st *store) evictOldestTerminalLocked() bool {
 	if victim == "" {
 		return false
 	}
+	j := st.jobs[victim]
 	delete(st.jobs, victim)
+	st.persistLocked(opDelete, j)
 	return true
 }
+
+// persistLocked feeds the persistence sink; a no-op for the pure
+// in-memory store.
+func (st *memStore) persistLocked(op storeOp, j *job) {
+	if st.sink != nil {
+		st.sink(op, j)
+	}
+}
+
+// close implements JobStore; the in-memory store holds no resources.
+func (st *memStore) close() error { return nil }
 
 func terminal(state string) bool {
 	return state == StateDone || state == StateFailed || state == StateCancelled
@@ -181,13 +284,14 @@ func terminal(state string) bool {
 // path may re-mark a job a remote worker started before dying). It reports
 // false only for a terminal job — cancelled while still queued — in which
 // case the caller must not run the solve.
-func (st *store) markRunning(j *job) bool {
+func (st *memStore) markRunning(j *job) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	switch j.state {
 	case StateQueued:
 		j.state = StateRunning
 		j.started = st.now()
+		st.persistLocked(opPut, j)
 		return true
 	case StateRunning:
 		return true
@@ -196,16 +300,17 @@ func (st *store) markRunning(j *job) bool {
 	}
 }
 
-// finish moves a job to its terminal state and wakes every waiter. The
-// terminal state is derived from how the solve ended: an explicit error is
-// a failure; a cancellation request wins over the result an interrupted
-// engine still returned (the result is kept — a cancelled search hands back
-// its best incumbent).
-func (st *store) finish(j *job, result *JobResult, errMessage string) {
+// finish moves a job to its terminal state, wakes every waiter, and
+// returns the state it settled in ("" when the job was already terminal).
+// The terminal state is derived from how the solve ended: an explicit
+// error is a failure; a cancellation request wins over the result an
+// interrupted engine still returned (the result is kept — a cancelled
+// search hands back its best incumbent).
+func (st *memStore) finish(j *job, result *JobResult, errMessage string) string {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if terminal(j.state) {
-		return
+		return ""
 	}
 	j.finished = st.now()
 	j.result = result
@@ -221,13 +326,15 @@ func (st *store) finish(j *job, result *JobResult, errMessage string) {
 	if j.result != nil {
 		j.result.State = j.state
 	}
+	st.persistLocked(opPut, j)
 	close(j.done)
+	return j.state
 }
 
 // noteInterrupted flags the job as cancelled without firing its context —
 // the record of a context that was already interrupted from outside (job
 // cancellation or server shutdown), consulted when the job finishes.
-func (st *store) noteInterrupted(j *job) {
+func (st *memStore) noteInterrupted(j *job) {
 	st.mu.Lock()
 	if !terminal(j.state) {
 		j.cancelled = true
@@ -237,7 +344,7 @@ func (st *store) noteInterrupted(j *job) {
 
 // requestCancel flags the job as cancelled and fires its context. It is
 // idempotent; it reports false when the job was already terminal.
-func (st *store) requestCancel(j *job) bool {
+func (st *memStore) requestCancel(j *job) bool {
 	st.mu.Lock()
 	already := terminal(j.state)
 	if !already {
@@ -250,8 +357,16 @@ func (st *store) requestCancel(j *job) bool {
 	return !already
 }
 
+// noteCache records how the schedule cache treated the submission ("hit"
+// or "bypass"); surfaced as JobStatus.Cache.
+func (st *memStore) noteCache(j *job, note string) {
+	st.mu.Lock()
+	j.cacheNote = note
+	st.mu.Unlock()
+}
+
 // status snapshots a job into its wire form.
-func (st *store) status(j *job) JobStatus {
+func (st *memStore) status(j *job) JobStatus {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	out := JobStatus{
@@ -259,6 +374,7 @@ func (st *store) status(j *job) JobStatus {
 		State:   j.state,
 		Engines: j.engines,
 		Created: j.created.UTC().Format(time.RFC3339Nano),
+		Cache:   j.cacheNote,
 		Error:   j.errMessage,
 	}
 	if !j.started.IsZero() {
@@ -285,7 +401,7 @@ func (st *store) status(j *job) JobStatus {
 // job's next event sequence number. The counter lives on the job, not the
 // connection, so a watcher that reconnects with Last-Event-ID always sees
 // strictly larger values than it already printed.
-func (st *store) nextEvent(j *job) JobStatus {
+func (st *memStore) nextEvent(j *job) JobStatus {
 	st.mu.Lock()
 	j.eventSeq++
 	seq := j.eventSeq
@@ -297,7 +413,7 @@ func (st *store) nextEvent(j *job) JobStatus {
 
 // resultOf returns the job's result when it has one (done, or cancelled
 // with a kept incumbent).
-func (st *store) resultOf(j *job) *JobResult {
+func (st *memStore) resultOf(j *job) *JobResult {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return j.result

@@ -1,0 +1,147 @@
+package solverpool
+
+import (
+	"container/list"
+	"sync"
+)
+
+// This file is the content-addressed schedule cache: a bounded memo of
+// finished solve results keyed by everything that determines the answer —
+// the instance digest (graph + system, the same fingerprint the model
+// cache uses) plus a caller-supplied digest of the solve configuration
+// (engine selection, budget, heuristic, pruning toggles). A service
+// fronting the pool consults it before solving: most production traffic
+// resubmits the same DAG shapes, and an identical submission can be
+// answered from the memo without a single engine expansion.
+//
+// The cache stores opaque bytes (the server's serialized JobResult), so
+// the pool stays ignorant of wire types; the value returned on a hit is
+// byte-identical to what was stored on the first solve. Entries are
+// evicted least-recently-used once the byte budget is exceeded.
+
+// CacheKey addresses one cached result: the instance digest pair plus the
+// configuration digest. Two submissions with equal keys would run the
+// identical search under the identical budget.
+type CacheKey struct {
+	Graph  uint64
+	System uint64
+	Config uint64
+}
+
+// CacheStats counts the cache's behaviour for health and metrics views.
+type CacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Bypasses int64 `json:"bypasses"`
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// ResultCache is a concurrency-safe LRU byte cache of solve results.
+// Construct with NewResultCache; a nil *ResultCache is a valid no-op
+// cache (Get always misses, Put discards), so callers can thread one
+// through unconditionally.
+type ResultCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	entries  map[CacheKey]*list.Element
+	hits     int64
+	misses   int64
+	bypasses int64
+}
+
+// cacheEntry is one resident result.
+type cacheEntry struct {
+	key  CacheKey
+	data []byte
+}
+
+// NewResultCache returns a cache bounded to maxBytes of stored payload;
+// maxBytes <= 0 returns nil (the no-op cache).
+func NewResultCache(maxBytes int64) *ResultCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &ResultCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		entries:  map[CacheKey]*list.Element{},
+	}
+}
+
+// Get returns the stored bytes for key and marks the entry recently used.
+// The returned slice is shared — callers must not mutate it.
+func (c *ResultCache) Get(key CacheKey) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// Put stores data under key, replacing any previous value, and evicts
+// least-recently-used entries until the byte budget holds. A payload
+// larger than the whole budget is not admitted.
+func (c *ResultCache) Put(key CacheKey, data []byte) {
+	if c == nil || int64(len(data)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(data)) - int64(len(e.data))
+		e.data = data
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+		c.bytes += int64(len(data))
+	}
+	for c.bytes > c.maxBytes {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.data))
+	}
+}
+
+// NoteBypass counts a submission that carried the cache escape hatch and
+// skipped the lookup.
+func (c *ResultCache) NoteBypass() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.bypasses++
+	c.mu.Unlock()
+}
+
+// Stats snapshots the counters. A nil cache reports zeros.
+func (c *ResultCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Bypasses: c.bypasses,
+		Entries:  len(c.entries),
+		Bytes:    c.bytes,
+	}
+}

@@ -1,0 +1,103 @@
+package solverpool
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestResultCacheHitMissAndCounters(t *testing.T) {
+	c := NewResultCache(1 << 20)
+	k := CacheKey{Graph: 1, System: 2, Config: 3}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(k, []byte("payload"))
+	got, ok := c.Get(k)
+	if !ok || !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("Get = %q, %v; want payload, true", got, ok)
+	}
+	// A different config digest is a different entry.
+	if _, ok := c.Get(CacheKey{Graph: 1, System: 2, Config: 4}); ok {
+		t.Fatal("config-digest variation hit the same entry")
+	}
+	c.NoteBypass()
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Bypasses != 1 || st.Entries != 1 || st.Bytes != int64(len("payload")) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResultCacheLRUByteBudget(t *testing.T) {
+	// Budget of 3 × 8-byte payloads: inserting a fourth evicts the least
+	// recently used entry, and a Get refreshes recency.
+	c := NewResultCache(24)
+	key := func(i int) CacheKey { return CacheKey{Graph: uint64(i)} }
+	for i := 0; i < 3; i++ {
+		c.Put(key(i), []byte(fmt.Sprintf("entry-%02d", i)))
+	}
+	c.Get(key(0)) // 0 is now most recent; 1 is the LRU victim
+	c.Put(key(3), []byte("entry-03"))
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("LRU victim survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(key(i)); !ok {
+			t.Fatalf("entry %d evicted out of LRU order", i)
+		}
+	}
+	if st := c.Stats(); st.Bytes > 24 || st.Entries != 3 {
+		t.Fatalf("budget exceeded: %+v", st)
+	}
+	// Replacing an entry adjusts the byte account instead of leaking it.
+	c.Put(key(0), []byte("xx"))
+	if st := c.Stats(); st.Bytes != 8+8+2 {
+		t.Fatalf("bytes after replace = %d, want 18", st.Bytes)
+	}
+	// An oversized payload is refused outright.
+	c.Put(key(9), make([]byte, 100))
+	if _, ok := c.Get(key(9)); ok {
+		t.Fatal("oversized payload was admitted")
+	}
+}
+
+func TestResultCacheNilIsNoop(t *testing.T) {
+	var c *ResultCache
+	if c != NewResultCache(0) {
+		t.Fatal("NewResultCache(0) should return the nil no-op cache")
+	}
+	c.Put(CacheKey{}, []byte("x"))
+	if _, ok := c.Get(CacheKey{}); ok {
+		t.Fatal("nil cache reported a hit")
+	}
+	c.NoteBypass()
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+}
+
+func TestResultCacheConcurrent(t *testing.T) {
+	c := NewResultCache(1 << 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := CacheKey{Graph: uint64(i % 37), Config: uint64(w % 2)}
+				if data, ok := c.Get(k); ok {
+					if len(data) != 16 {
+						t.Errorf("corrupt entry: %d bytes", len(data))
+						return
+					}
+				}
+				c.Put(k, make([]byte, 16))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > 1<<16 {
+		t.Fatalf("budget exceeded under concurrency: %+v", st)
+	}
+}

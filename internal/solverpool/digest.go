@@ -23,6 +23,23 @@ type modelKey struct {
 	system uint64
 }
 
+// InstanceDigest exposes the instance fingerprint pair for callers layering
+// their own content-addressed stores on the pool's digest — the schedule
+// cache keys on exactly this pair plus a configuration digest.
+func InstanceDigest(g *taskgraph.Graph, sys *procgraph.System) (graph, system uint64) {
+	k := instanceKey(g, sys)
+	return k.graph, k.system
+}
+
+// BytesDigest fingerprints an arbitrary byte string with the same FNV-1a
+// family the instance digests use; the server digests its canonical solve
+// configuration (engine list + wire budget) through it.
+func BytesDigest(b []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return h.Sum64()
+}
+
 func instanceKey(g *taskgraph.Graph, sys *procgraph.System) modelKey {
 	return modelKey{graph: graphDigest(g), system: systemDigest(g, sys)}
 }
