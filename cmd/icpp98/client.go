@@ -29,6 +29,7 @@ import (
 //	icpp98 client watch job-1                                 # stream progress
 //	icpp98 client result -gantt job-1
 //	icpp98 client cancel job-1
+//	icpp98 client trace job-1                                 # lifecycle timeline
 //	icpp98 client workers                                     # cluster workers
 func cmdClient(args []string) {
 	fs := flag.NewFlagSet("client", flag.ExitOnError)
@@ -36,7 +37,7 @@ func cmdClient(args []string) {
 	fs.Parse(args)
 	rest := fs.Args()
 	if len(rest) == 0 {
-		fatal(fmt.Errorf("client needs a subcommand: submit | status | watch | result | cancel | list | engines | health | metrics | workers"))
+		fatal(fmt.Errorf("client needs a subcommand: submit | status | watch | result | cancel | trace | list | engines | health | metrics | workers"))
 	}
 	c := &client{base: strings.TrimRight(*addr, "/")}
 	switch rest[0] {
@@ -50,6 +51,8 @@ func cmdClient(args []string) {
 		c.result(rest[1:])
 	case "cancel":
 		c.cancel(rest[1:])
+	case "trace":
+		c.trace(rest[1:])
 	case "list":
 		c.list()
 	case "engines":
@@ -57,7 +60,7 @@ func cmdClient(args []string) {
 	case "health":
 		c.health()
 	case "metrics":
-		c.metrics()
+		c.metrics(rest[1:])
 	case "workers":
 		c.workers()
 	default:
@@ -373,9 +376,36 @@ func (c *client) health() {
 	printJSON(h)
 }
 
-// metrics prints the daemon's Prometheus text exposition verbatim — the
-// same bytes a scraper would ingest.
-func (c *client) metrics() {
+// trace fetches a job's lifecycle trace and renders it as an ASCII
+// timeline — every span as a bar on the job's shared time axis, remote
+// worker and coordinator spans included — followed by the sampled search
+// telemetry roll-up.
+func (c *client) trace(args []string) {
+	fs := flag.NewFlagSet("client trace", flag.ExitOnError)
+	raw := fs.Bool("json", false, "print the raw JSON trace instead of the timeline")
+	samples := fs.Bool("samples", false, "also print every retained telemetry sample")
+	width := fs.Int("width", 60, "timeline bar width in columns")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("trace needs a job id"))
+	}
+	var tr server.TraceResponse
+	c.do(http.MethodGet, "/v1/jobs/"+fs.Arg(0)+"/trace", nil, &tr)
+	if *raw {
+		printJSON(tr)
+		return
+	}
+	printTrace(os.Stdout, tr, *width, *samples)
+}
+
+// metrics fetches the daemon's Prometheus exposition and pretty-prints it:
+// histogram families as one count/sum/quantiles row per label set, plain
+// counters and gauges aligned. -raw restores the verbatim scrape bytes. A
+// non-200 scrape (or an unreachable daemon) exits non-zero.
+func (c *client) metrics(args []string) {
+	fs := flag.NewFlagSet("client metrics", flag.ExitOnError)
+	raw := fs.Bool("raw", false, "print the text exposition verbatim (scraper bytes)")
+	fs.Parse(args)
 	resp, err := http.Get(c.base + "/metrics")
 	if err != nil {
 		fatal(err)
@@ -385,7 +415,11 @@ func (c *client) metrics() {
 	if resp.StatusCode/100 != 2 {
 		fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data))))
 	}
-	os.Stdout.Write(data)
+	if *raw {
+		os.Stdout.Write(data)
+		return
+	}
+	printMetrics(os.Stdout, string(data))
 }
 
 // workers lists the cluster workers registered with a -cluster daemon.

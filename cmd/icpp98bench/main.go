@@ -16,8 +16,14 @@
 //
 // -checkserve <path> validates an existing BENCH_serve.json instead of
 // running anything: the file must parse, carry the serve SLO summary
-// (jobs/sec, cache hit rate, latency percentiles), and record no gate
-// failures. CI uses it to keep the committed baseline well-formed.
+// (jobs/sec, cache hit rate, latency percentiles, per-stage span
+// percentiles), and record no gate failures. CI uses it to keep the
+// committed baseline well-formed.
+//
+// -checkmetrics <url|path> lints a Prometheus text exposition — a live
+// daemon's /metrics scraped over HTTP, or a saved page — against the
+// 0.0.4 format contract (bench.LintMetrics) and exits non-zero on any
+// violation. CI runs it against a freshly started icpp98d.
 //
 // The default configuration trims the sweep to laptop-scale sizes; -full
 // runs the paper's 10..32 sizes (expect censored cells unless -budget and
@@ -39,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -51,26 +58,28 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig6 | fig7 | ablation | pruning | distribution | deviation | engines | large | speedup | serve | all")
-		sizes      = flag.String("sizes", "", "comma-separated graph sizes (default 10,12,14,16; speedup: 80,128)")
-		ccrs       = flag.String("ccrs", "", "comma-separated CCRs (default 0.1,1,10)")
-		ppes       = flag.String("ppes", "", "comma-separated PPE/worker counts for fig6 and speedup (default 2,4,8,16; speedup: 1,2,4,8)")
-		epsilons   = flag.String("epsilons", "", "comma-separated ε for fig7 (default 0.2,0.5)")
-		fig7ppes   = flag.Int("fig7ppes", 16, "PPE count for fig7 (paper: 16)")
-		seed       = flag.Uint64("seed", 1998, "workload seed")
-		budget     = flag.Int64("budget", 300000, "per-cell expansion budget (0 = unlimited)")
-		timeout    = flag.Duration("timeout", 60*time.Second, "per-cell wall-clock budget (0 = none)")
-		floor      = flag.Int("floor", 2, "parallel communication-period floor (paper: 2)")
-		full       = flag.Bool("full", false, "run the paper's full 10..32 size sweep")
-		format     = flag.String("format", "md", "output format: md | csv")
-		out        = flag.String("out", "", "output path: a file for the tables, or a directory for per-experiment files; controls where -json reports land (default: stdout + CWD)")
-		jsonOut    = flag.Bool("json", false, "also write a machine-readable BENCH_<experiment>.json per experiment (next to -out)")
-		procs      = flag.Int("procs", 0, "target PEs per instance (0 = v, the paper's setting)")
-		rate       = flag.Float64("rate", 0, "serve: offered load in requests/sec (0 = 25)")
-		duration   = flag.Duration("duration", 0, "serve: load-phase length (0 = 3s)")
-		corpus     = flag.Int("corpus", 0, "serve: distinct instances in the mixed corpus (0 = 5)")
-		servev     = flag.Int("servev", 0, "serve: nodes per corpus instance (0 = 20)")
-		checkServe = flag.String("checkserve", "", "validate an existing BENCH_serve.json (parses, SLO fields present, no failures) and exit")
+		experiment   = flag.String("experiment", "all", "table1 | fig6 | fig7 | ablation | pruning | distribution | deviation | engines | large | speedup | serve | all")
+		sizes        = flag.String("sizes", "", "comma-separated graph sizes (default 10,12,14,16; speedup: 80,128)")
+		ccrs         = flag.String("ccrs", "", "comma-separated CCRs (default 0.1,1,10)")
+		ppes         = flag.String("ppes", "", "comma-separated PPE/worker counts for fig6 and speedup (default 2,4,8,16; speedup: 1,2,4,8)")
+		epsilons     = flag.String("epsilons", "", "comma-separated ε for fig7 (default 0.2,0.5)")
+		fig7ppes     = flag.Int("fig7ppes", 16, "PPE count for fig7 (paper: 16)")
+		seed         = flag.Uint64("seed", 1998, "workload seed")
+		budget       = flag.Int64("budget", 300000, "per-cell expansion budget (0 = unlimited)")
+		timeout      = flag.Duration("timeout", 60*time.Second, "per-cell wall-clock budget (0 = none)")
+		floor        = flag.Int("floor", 2, "parallel communication-period floor (paper: 2)")
+		full         = flag.Bool("full", false, "run the paper's full 10..32 size sweep")
+		format       = flag.String("format", "md", "output format: md | csv")
+		out          = flag.String("out", "", "output path: a file for the tables, or a directory for per-experiment files; controls where -json reports land (default: stdout + CWD)")
+		jsonOut      = flag.Bool("json", false, "also write a machine-readable BENCH_<experiment>.json per experiment (next to -out)")
+		procs        = flag.Int("procs", 0, "target PEs per instance (0 = v, the paper's setting)")
+		rate         = flag.Float64("rate", 0, "serve: offered load in requests/sec (0 = 25)")
+		duration     = flag.Duration("duration", 0, "serve: load-phase length (0 = 3s)")
+		corpus       = flag.Int("corpus", 0, "serve: distinct instances in the mixed corpus (0 = 5)")
+		servev       = flag.Int("servev", 0, "serve: nodes per corpus instance (0 = 20)")
+		checkServe   = flag.String("checkserve", "", "validate an existing BENCH_serve.json (parses, SLO fields present, no failures) and exit")
+		checkMetrics = flag.String("checkmetrics", "", "lint a Prometheus text exposition (a http(s):// URL to scrape, or a file path) and exit")
+		queueSLO     = flag.Duration("queue-slo", 0, "serve: fail the run when queue-wait p99 exceeds this (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -79,6 +88,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "%s: ok\n", *checkServe)
+		return
+	}
+	if *checkMetrics != "" {
+		page, err := readMetricsPage(*checkMetrics)
+		if err != nil {
+			fatal(err)
+		}
+		if problems := bench.LintMetrics(page); len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "icpp98bench: %s: %s\n", *checkMetrics, p)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%s: ok\n", *checkMetrics)
 		return
 	}
 
@@ -92,6 +115,7 @@ func main() {
 		ServeDuration: *duration,
 		ServeCorpus:   *corpus,
 		ServeV:        *servev,
+		ServeQueueSLO: *queueSLO,
 	}
 	if *full {
 		cfg.Sizes = bench.Full().Sizes
@@ -284,6 +308,31 @@ func (p *outputPlan) Close() error {
 		return err
 	}
 	return nil
+}
+
+// readMetricsPage fetches a -checkmetrics target: an HTTP(S) URL is
+// scraped like a Prometheus server would, anything else is read as a file.
+func readMetricsPage(target string) (string, error) {
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		resp, err := http.Get(target)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("scrape %s: %s", target, resp.Status)
+		}
+		return string(data), nil
+	}
+	data, err := os.ReadFile(target)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
 }
 
 func parseInts(s string) []int {

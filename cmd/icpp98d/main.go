@@ -11,8 +11,12 @@
 // with an "interrupted" error. Identical submissions are answered from a
 // content-addressed schedule cache (-cache-bytes budgets it; submit with
 // "cache":"bypass" to force a fresh solve). /metrics serves Prometheus
-// text-format counters, and -debug-addr serves net/http/pprof on a
-// separate, private port.
+// text-format counters and latency histograms, and -debug-addr serves
+// net/http/pprof on a separate, private port. Every job carries a trace ID
+// from submission: GET /v1/jobs/{id}/trace returns its lifecycle spans and
+// sampled search telemetry, -log-format/-log-level shape the structured
+// logs (trace_id on every job record), and -slow-job flags stragglers with
+// their final telemetry summary. See docs/OBSERVABILITY.md.
 //
 // Submit with curl (see docs/API.md for the full API):
 //
@@ -39,6 +43,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served on -debug-addr
 	"os"
@@ -49,6 +54,26 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/server"
 )
+
+// newLogger builds the daemon's structured logger: text or JSON records on
+// stderr, filtered at the given level. Every job-scoped record carries the
+// job's trace_id, so `grep <trace_id>` (or a log pipeline filter) pulls one
+// job's whole story out of a busy daemon's stream.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8098", "listen address")
@@ -63,11 +88,22 @@ func main() {
 	storeDir := flag.String("store-dir", "", "persist jobs under this directory (WAL + snapshot); restart recovers them. Empty = in-memory")
 	cacheBytes := flag.Int64("cache-bytes", 0, "schedule-cache byte budget (0 = 64 MiB, negative = disable)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	slowJob := flag.Duration("slow-job", 0, "log a warning with the final telemetry summary for jobs slower end-to-end than this (0 = disabled)")
+	sampleInterval := flag.Duration("sample-interval", 0, "search-telemetry sampling cadence (0 = 250ms default)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icpp98d:", err)
+		os.Exit(1)
+	}
 
 	srv, err := server.Open(server.Config{
 		Workers: *workers, StoreCap: *storeCap, TTL: *ttl, BacklogPerSlot: *backlog,
 		StoreDir: *storeDir, CacheBytes: *cacheBytes,
+		Logger: logger, SlowJob: *slowJob, SampleInterval: *sampleInterval,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "icpp98d:", err)
@@ -79,6 +115,7 @@ func main() {
 			LeaseTTL:      *leaseTTL,
 			WorkerTimeout: *workerTimeout,
 			MaxAttempts:   *jobAttempts,
+			Logger:        logger,
 		})
 		srv.EnableCluster(coord)
 	}

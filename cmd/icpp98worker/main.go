@@ -16,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,10 +29,28 @@ func main() {
 	name := flag.String("name", "", "worker label in listings (default: hostname)")
 	slots := flag.Int("slots", 0, "concurrent solves (0 = GOMAXPROCS)")
 	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "icpp98worker: "+format+"\n", args...)
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		logf("bad -log-level %q: %v", *logLevel, err)
+		os.Exit(2)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, opts))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	default:
+		logf("bad -log-format %q (want text or json)", *logFormat)
+		os.Exit(2)
 	}
 	w := cluster.NewWorker(cluster.WorkerConfig{
 		Coordinator: *coordinator,
@@ -42,6 +61,7 @@ func main() {
 				logf(format, args...)
 			}
 		},
+		Logger: logger,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -65,6 +65,10 @@ type Config struct {
 	ServeCorpus int
 	// ServeV sizes the serve corpus instances (0 = 20 nodes).
 	ServeV int
+	// ServeQueueSLO gates the serve experiment on queue-wait p99 (from the
+	// jobs' trace spans): a run whose p99 queue wait exceeds it fails.
+	// 0 disables the gate.
+	ServeQueueSLO time.Duration
 }
 
 func (c Config) withDefaults() Config {

@@ -222,6 +222,10 @@ func CheckServeReport(path string) error {
 		return fmt.Errorf("%s: serve summary is missing latency percentiles (p50=%.3fms p99=%.3fms)", path, s.P50MS, s.P99MS)
 	case s.HitRate <= 0 || s.HitRate > 1:
 		return fmt.Errorf("%s: cache hit rate %.3f outside (0, 1]", path, s.HitRate)
+	case s.SolveP50MS <= 0:
+		return fmt.Errorf("%s: serve summary is missing per-stage span percentiles (solve p50=%.3fms)", path, s.SolveP50MS)
+	case s.QueueP99MS < s.QueueP50MS:
+		return fmt.Errorf("%s: queue p99 %.3fms below p50 %.3fms", path, s.QueueP99MS, s.QueueP50MS)
 	}
 	return nil
 }

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const cleanPage = `# HELP icpp98_jobs Retained jobs by state.
+# TYPE icpp98_jobs gauge
+icpp98_jobs{state="queued"} 0
+icpp98_jobs{state="done"} 3
+# HELP icpp98_jobs_submitted_total Jobs admitted since start.
+# TYPE icpp98_jobs_submitted_total counter
+icpp98_jobs_submitted_total 3
+# HELP icpp98_job_solve_seconds Solve wall time.
+# TYPE icpp98_job_solve_seconds histogram
+icpp98_job_solve_seconds_bucket{cache="cold",le="0.01"} 1
+icpp98_job_solve_seconds_bucket{cache="cold",le="1"} 2
+icpp98_job_solve_seconds_bucket{cache="cold",le="+Inf"} 2
+icpp98_job_solve_seconds_sum{cache="cold"} 0.5
+icpp98_job_solve_seconds_count{cache="cold"} 2
+icpp98_job_solve_seconds_bucket{cache="warm",le="0.01"} 1
+icpp98_job_solve_seconds_bucket{cache="warm",le="1"} 1
+icpp98_job_solve_seconds_bucket{cache="warm",le="+Inf"} 1
+icpp98_job_solve_seconds_sum{cache="warm"} 0.001
+icpp98_job_solve_seconds_count{cache="warm"} 1
+# HELP repro_build_info Build identity; the value is always 1.
+# TYPE repro_build_info gauge
+repro_build_info{module="repro",go_version="go1.24.0"} 1
+`
+
+func TestLintCleanPage(t *testing.T) {
+	if problems := LintMetrics(cleanPage); len(problems) != 0 {
+		t.Fatalf("clean page flagged: %v", problems)
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		page string
+		want string // substring of some reported problem
+	}{
+		{"no type header", "icpp98_x 1\n", "without a preceding TYPE"},
+		{"bad type", "# TYPE icpp98_x histgram\nicpp98_x 1\n", "unknown metric type"},
+		{"bad name", "# TYPE icpp98_x counter\nicpp98_x 1\n0bad 2\n", "without a preceding TYPE"},
+		{"bad label name", "# TYPE icpp98_x counter\nicpp98_x{0bad=\"v\"} 1\n", "invalid label name"},
+		{"bad value", "# TYPE icpp98_x counter\nicpp98_x one\n", "invalid sample value"},
+		{"duplicate series", "# TYPE icpp98_x counter\nicpp98_x 1\nicpp98_x 2\n", "duplicate series"},
+		{"duplicate type", "# TYPE icpp98_x counter\n# TYPE icpp98_x counter\nicpp98_x 1\n", "duplicate TYPE"},
+		{"type after samples", "# TYPE icpp98_x counter\nicpp98_x 1\n# TYPE icpp98_y counter\n# HELP icpp98_x late\nicpp98_y 1\n", "after its samples"},
+		{"interleaved families", "# TYPE icpp98_x counter\n# TYPE icpp98_y counter\nicpp98_x{a=\"1\"} 1\nicpp98_y 1\nicpp98_x{a=\"2\"} 1\n", "not contiguous"},
+		{"type with no samples", "# TYPE icpp98_x counter\n", "no samples"},
+		{
+			"histogram missing +Inf",
+			"# TYPE icpp98_h histogram\nicpp98_h_bucket{le=\"1\"} 1\nicpp98_h_sum 0.5\nicpp98_h_count 1\n",
+			"no +Inf bucket",
+		},
+		{
+			"histogram not cumulative",
+			"# TYPE icpp98_h histogram\nicpp98_h_bucket{le=\"1\"} 5\nicpp98_h_bucket{le=\"2\"} 3\nicpp98_h_bucket{le=\"+Inf\"} 5\nicpp98_h_sum 0.5\nicpp98_h_count 5\n",
+			"not cumulative",
+		},
+		{
+			"histogram count mismatch",
+			"# TYPE icpp98_h histogram\nicpp98_h_bucket{le=\"1\"} 1\nicpp98_h_bucket{le=\"+Inf\"} 2\nicpp98_h_sum 0.5\nicpp98_h_count 7\n",
+			"_count 7 != +Inf bucket 2",
+		},
+		{
+			"histogram missing sum",
+			"# TYPE icpp98_h histogram\nicpp98_h_bucket{le=\"+Inf\"} 1\nicpp98_h_count 1\n",
+			"missing _sum",
+		},
+		{
+			"histogram le out of order",
+			"# TYPE icpp98_h histogram\nicpp98_h_bucket{le=\"2\"} 1\nicpp98_h_bucket{le=\"1\"} 1\nicpp98_h_bucket{le=\"+Inf\"} 1\nicpp98_h_sum 0.5\nicpp98_h_count 1\n",
+			"out of order",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := LintMetrics(tc.page)
+			for _, p := range problems {
+				if strings.Contains(p, tc.want) {
+					return
+				}
+			}
+			t.Fatalf("want a problem containing %q, got %v", tc.want, problems)
+		})
+	}
+}
+
+func TestLintEscapedLabelValues(t *testing.T) {
+	page := "# TYPE icpp98_x counter\nicpp98_x{engine=\"a,b\",note=\"say \\\"hi\\\"\"} 1\n"
+	if problems := LintMetrics(page); len(problems) != 0 {
+		t.Fatalf("escaped labels flagged: %v", problems)
+	}
+}

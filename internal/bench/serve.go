@@ -47,6 +47,15 @@ type ServeSummary struct {
 	ColdP50MS   float64 `json:"cold_p50_ms"`
 	WarmP50MS   float64 `json:"warm_p50_ms"`
 	WarmP99MS   float64 `json:"warm_p99_ms"`
+	// Per-stage latency percentiles, read from each driven job's lifecycle
+	// trace (GET /v1/jobs/{id}/trace): time spent queued before the solve
+	// started, and in the solve stage itself (cold jobs only — a cache hit
+	// has no solve span by design). Queue p99 is the backpressure SLO the
+	// run can gate on (Config.ServeQueueSLO).
+	QueueP50MS float64 `json:"queue_p50_ms"`
+	QueueP99MS float64 `json:"queue_p99_ms"`
+	SolveP50MS float64 `json:"solve_p50_ms"`
+	SolveP99MS float64 `json:"solve_p99_ms"`
 }
 
 // ServeResult reports the serve experiment.
@@ -66,6 +75,37 @@ type serveOutcome struct {
 	cache    string // "" | "hit" | "bypass"
 	err      string
 	expanded int64
+	// queueMS/solveMS come from the job's lifecycle trace; solveMS is -1
+	// when the trace carries no solve span (a cache hit).
+	queueMS float64
+	solveMS float64
+}
+
+// fetchSpanDurations reads a finished job's trace and extracts the queue
+// and solve span durations; solve is -1 when absent.
+func fetchSpanDurations(base, id string) (queueMS, solveMS float64, err error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		return 0, -1, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, -1, fmt.Errorf("trace %s: %s", id, resp.Status)
+	}
+	var tr server.TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return 0, -1, err
+	}
+	solveMS = -1
+	for _, sp := range tr.Spans {
+		switch sp.Name {
+		case "queue":
+			queueMS = sp.DurationMS
+		case "solve":
+			solveMS = sp.DurationMS
+		}
+	}
+	return queueMS, solveMS, nil
 }
 
 // serveCorpus builds the distinct instances: layered DAGs (the
@@ -138,13 +178,20 @@ func driveOne(base string, body []byte) serveOutcome {
 			return serveOutcome{err: err.Error()}
 		}
 		if st.State != server.StateQueued && st.State != server.StateRunning {
-			return serveOutcome{
+			out := serveOutcome{
 				latency:  time.Since(start),
 				state:    st.State,
 				cache:    st.Cache,
 				err:      st.Error,
 				expanded: st.Progress.Expanded,
+				solveMS:  -1,
 			}
+			// The per-stage breakdown rides the job's trace; a trace fetch
+			// failure degrades the breakdown, not the request's outcome.
+			if q, s, err := fetchSpanDurations(base, sub.ID); err == nil {
+				out.queueMS, out.solveMS = q, s
+			}
+			return out
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -215,6 +262,14 @@ func percentile(sorted []time.Duration, p float64) float64 {
 	return float64(sorted[idx].Microseconds()) / 1000
 }
 
+// percentileMS is percentile over already-ms float series (span durations).
+func percentileMS(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
 // RunServe runs the serving-tier load benchmark and its correctness gate.
 func RunServe(cfg Config) *ServeResult {
 	cfg = cfg.withDefaults()
@@ -279,28 +334,62 @@ func RunServe(cfg Config) *ServeResult {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	// Roll up: every request must land done; split latencies by class.
+	// Roll up: every request must land done; split latencies by class, and
+	// collect the per-stage durations each job's trace reported.
 	var all, cold, warm []time.Duration
+	var queueMS, solveMS []float64
 	for i, o := range outcomes {
 		if o.state != server.StateDone {
 			fail("serve: request %d (instance %d) ended %q: %s", i, i%len(bodies), o.state, o.err)
 			continue
 		}
 		all = append(all, o.latency)
+		queueMS = append(queueMS, o.queueMS)
 		if o.cache == "hit" {
 			warm = append(warm, o.latency)
 			if o.expanded != 0 {
 				fail("serve: request %d hit the cache yet expanded %d states", i, o.expanded)
 			}
+			if o.solveMS >= 0 {
+				fail("serve: request %d hit the cache yet its trace has a solve span", i)
+			}
 		} else {
 			cold = append(cold, o.latency)
+			if o.solveMS >= 0 {
+				solveMS = append(solveMS, o.solveMS)
+			}
 		}
 	}
 	for _, s := range [][]time.Duration{all, cold, warm} {
 		sort.Slice(s, func(i, k int) bool { return s[i] < s[k] })
 	}
+	sort.Float64s(queueMS)
+	sort.Float64s(solveMS)
 	if len(warm) == 0 {
 		fail("serve: repeated digests never hit the schedule cache")
+	}
+	if len(solveMS) == 0 {
+		fail("serve: no cold job's trace carried a solve span")
+	}
+	if slo := cfg.ServeQueueSLO; slo > 0 {
+		if p99 := percentileMS(queueMS, 0.99); p99 > float64(slo.Milliseconds()) {
+			fail("serve: queue-wait p99 %.1fms exceeds the %v SLO", p99, slo)
+		}
+	}
+
+	// The daemon's scrape page must stay parseable under load: run the
+	// exposition linter against the live /metrics.
+	if resp, err := http.Get(base + "/metrics"); err != nil {
+		fail("serve: scraping /metrics: %v", err)
+	} else {
+		page, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			fail("serve: reading /metrics: %v", rerr)
+		}
+		for _, p := range LintMetrics(string(page)) {
+			fail("serve: /metrics lint: %s", p)
+		}
 	}
 
 	// Cold-vs-warm byte identity per corpus instance: a cached answer must
@@ -361,6 +450,10 @@ func RunServe(cfg Config) *ServeResult {
 		ColdP50MS:  percentile(cold, 0.50),
 		WarmP50MS:  percentile(warm, 0.50),
 		WarmP99MS:  percentile(warm, 0.99),
+		QueueP50MS: percentileMS(queueMS, 0.50),
+		QueueP99MS: percentileMS(queueMS, 0.99),
+		SolveP50MS: percentileMS(solveMS, 0.50),
+		SolveP99MS: percentileMS(solveMS, 0.99),
 	}
 	if health.Cache != nil {
 		res.Summary.CacheHits = health.Cache.Hits
@@ -378,7 +471,8 @@ func (r *ServeResult) Tables() []*table {
 	t := &table{
 		Title: "Serving tier under load — jobs/sec, cache hit rate, latency percentiles",
 		Header: []string{"rate (req/s)", "requests", "corpus", "v", "jobs/sec",
-			"hit rate", "p50", "p99", "cold p50", "warm p50", "warm p99"},
+			"hit rate", "p50", "p99", "cold p50", "warm p50", "warm p99",
+			"queue p50", "queue p99", "solve p50", "solve p99"},
 		Rows: [][]string{{
 			fmt.Sprintf("%.0f", s.Rate), fmt.Sprint(s.Requests), fmt.Sprint(s.Corpus),
 			fmt.Sprint(s.V), fmt.Sprintf("%.1f", s.JobsPerSec),
@@ -386,10 +480,13 @@ func (r *ServeResult) Tables() []*table {
 			fmt.Sprintf("%.1fms", s.P50MS), fmt.Sprintf("%.1fms", s.P99MS),
 			fmt.Sprintf("%.1fms", s.ColdP50MS),
 			fmt.Sprintf("%.1fms", s.WarmP50MS), fmt.Sprintf("%.1fms", s.WarmP99MS),
+			fmt.Sprintf("%.1fms", s.QueueP50MS), fmt.Sprintf("%.1fms", s.QueueP99MS),
+			fmt.Sprintf("%.1fms", s.SolveP50MS), fmt.Sprintf("%.1fms", s.SolveP99MS),
 		}},
 		Notes: []string{
 			"latency is submit→terminal as a polling client sees it; cold = solved, warm = answered from the schedule cache",
-			"gates: every request done, repeats hit, warm byte-identical to a fresh solve (modulo job ID and wall time), bypass re-solves",
+			"queue/solve are per-stage span durations from each job's lifecycle trace (GET /v1/jobs/{id}/trace); cache hits have no solve span",
+			"gates: every request done, repeats hit, warm byte-identical to a fresh solve (modulo job ID and wall time), bypass re-solves, /metrics passes the exposition linter",
 		},
 	}
 	for _, f := range r.Failures {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/stg"
 )
@@ -702,5 +703,78 @@ func TestClusterLargeInstanceMatchesLocal(t *testing.T) {
 	}
 	if cres.Length != lres.Length || cres.Optimal != lres.Optimal {
 		t.Errorf("result headers differ: %+v vs %+v", cres, lres)
+	}
+}
+
+// TestClusterTraceEndToEnd is the ISSUE 8 acceptance check for tracing:
+// a job solved on a remote worker yields one coherent trace at the
+// coordinator — daemon spans (admit, queue, cache, dispatch, persist),
+// the coordinator's lease span, and the worker's decode/solve spans
+// shipped back on the terminal report — with monotonic timestamps and
+// the lifecycle order submit → admit → queue → lease → solve → persist.
+func TestClusterTraceEndToEnd(t *testing.T) {
+	coord, base := newCluster(t, server.Config{Workers: 1}, testTimings())
+	startWorker(t, coord, base, "wa", 1)
+
+	id := postJob(t, base, server.SubmitRequest{Graph: paperGraphJSON(t), Engine: "astar"})
+	if st := waitTerminal(t, base, id); st.State != server.StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+
+	var tr server.TraceResponse
+	if code := getJSON(t, base+"/v1/jobs/"+id+"/trace", &tr); code != http.StatusOK {
+		t.Fatalf("trace: got %d", code)
+	}
+	if tr.TraceID == "" || tr.State != server.StateDone {
+		t.Fatalf("trace header incomplete: %+v", tr)
+	}
+
+	// Snapshot orders by start time; every span must be well-formed and
+	// the sequence monotonic.
+	byName := map[string]obs.Span{}
+	var prev int64
+	for _, sp := range tr.Spans {
+		if sp.Start < prev {
+			t.Errorf("span %s starts at %d, before its predecessor at %d", sp.Name, sp.Start, prev)
+		}
+		prev = sp.Start
+		if sp.End < sp.Start {
+			t.Errorf("span %s ends (%d) before it starts (%d)", sp.Name, sp.End, sp.Start)
+		}
+		if _, dup := byName[sp.Name]; !dup {
+			byName[sp.Name] = sp
+		}
+	}
+
+	wantOrigin := map[string]string{
+		"admit":   obs.OriginDaemon,
+		"queue":   obs.OriginDaemon,
+		"lease":   obs.OriginCoordinator,
+		"decode":  obs.OriginWorker + ":wa",
+		"solve":   obs.OriginWorker + ":wa",
+		"persist": obs.OriginDaemon,
+	}
+	for name, origin := range wantOrigin {
+		sp, ok := byName[name]
+		if !ok {
+			t.Fatalf("trace has no %q span (got %d spans: %+v)", name, len(tr.Spans), tr.Spans)
+		}
+		if sp.Origin != origin {
+			t.Errorf("span %s origin %q, want %q", name, sp.Origin, origin)
+		}
+	}
+
+	// The lifecycle order: each stage starts no earlier than its
+	// predecessor, and the remote worker's clock folds into the same
+	// axis (the solve must start within the lease and before persist).
+	order := []string{"admit", "queue", "lease", "solve", "persist"}
+	for i := 1; i < len(order); i++ {
+		a, b := byName[order[i-1]], byName[order[i]]
+		if b.Start < a.Start {
+			t.Errorf("span %s (start %d) precedes %s (start %d)", order[i], b.Start, order[i-1], a.Start)
+		}
+	}
+	if solve := byName["solve"]; solve.End > byName["persist"].End {
+		t.Errorf("worker solve ends (%d) after the daemon persisted (%d)", solve.End, byName["persist"].End)
 	}
 }

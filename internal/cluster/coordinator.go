@@ -24,12 +24,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -55,6 +58,10 @@ type Config struct {
 	// ReapInterval is the failure-detector tick. <= 0 selects a quarter of
 	// the smaller of LeaseTTL and WorkerTimeout.
 	ReapInterval time.Duration
+	// Logger receives the coordinator's structured log records — worker
+	// registration/reaping, lease grants, failovers — stamped with each
+	// job's trace_id; nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +136,8 @@ type task struct {
 	failures    int             // attempts lost to death/expiry — what MaxAttempts bounds
 	excluded    map[string]bool // workers that already failed (or handed back) this job
 	worker      string          // "" while pending
+	workerName  string          // the leased worker's human label, for spans/logs
+	leaseStart  time.Time       // when the current lease was granted
 	leaseExpiry time.Time
 	started     bool
 	reasons     []string // failure reason of each abandoned/expired attempt
@@ -146,6 +155,7 @@ type task struct {
 // server.ClusterBackend; mount it with server.EnableCluster.
 type Coordinator struct {
 	cfg Config
+	log *slog.Logger
 	mux *http.ServeMux
 
 	mu      sync.Mutex
@@ -166,8 +176,13 @@ type Coordinator struct {
 // Close it to stop the detector and give every unresolved job back to the
 // local pool.
 func NewCoordinator(cfg Config) *Coordinator {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	c := &Coordinator{
 		cfg:     cfg.withDefaults(),
+		log:     logger,
 		workers: map[string]*workerState{},
 		tasks:   map[string]*task{},
 		wake:    make(chan struct{}),
@@ -237,6 +252,22 @@ func (c *Coordinator) eligibleLocked(t *task) bool {
 	return false
 }
 
+// leaseSpanLocked closes the task's current lease attempt as one trace
+// span — origin "coordinator", stamped with the worker, the 1-based
+// attempt number, and how the attempt ended ("done", "error", or the
+// failover reason). Called at every resolution point while t.worker
+// still names the lease holder.
+func (t *task) leaseSpanLocked(outcome string) {
+	if t.job.Trace == nil || t.worker == "" {
+		return
+	}
+	t.job.Trace.RecordTimed("lease", obs.OriginCoordinator, t.leaseStart, time.Now(),
+		"worker", t.workerName,
+		"worker_id", t.worker,
+		"attempt", strconv.Itoa(t.attempts),
+		"outcome", outcome)
+}
+
 // requeueLocked puts a leased task back in the queue after its worker
 // died, went silent, or handed it back — or resolves it when retrying is
 // pointless: cancelled (result-less cancelled end), out of failure budget
@@ -249,8 +280,13 @@ func (c *Coordinator) eligibleLocked(t *task) bool {
 // draining or flaky worker must not be handed the same job straight back.
 func (c *Coordinator) requeueLocked(t *task, reason string, budgeted bool) {
 	c.failovers++
+	t.leaseSpanLocked(reason)
 	if t.worker != "" {
 		t.excluded[t.worker] = true
+		c.log.Warn("cluster failover",
+			"job", t.job.ID, "trace_id", t.job.TraceID,
+			"worker", t.workerName, "attempt", t.attempts,
+			"reason", reason, "budgeted", budgeted)
 	}
 	if w := c.workers[t.worker]; w != nil {
 		delete(w.leased, t.job.ID)
@@ -300,6 +336,9 @@ func (c *Coordinator) reap() {
 				continue
 			}
 			delete(c.workers, id)
+			c.log.Warn("worker reaped",
+				"worker", w.name, "worker_id", id,
+				"silent_ms", now.Sub(w.lastSeen).Milliseconds(), "leased", len(w.leased))
 			for _, t := range w.leased {
 				c.requeueLocked(t, fmt.Sprintf("worker %s (%s) missed heartbeats", w.name, id), true)
 			}
@@ -475,6 +514,9 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		leased:   map[string]*task{},
 	}
 	c.mu.Unlock()
+	c.log.Info("worker registered",
+		"worker", req.Name, "worker_id", id,
+		"capacity", req.Capacity, "engines", strings.Join(req.Engines, ","))
 	server.WriteJSON(w, http.StatusOK, RegisterResponse{
 		WorkerID:         id,
 		LeaseTTLMS:       c.cfg.LeaseTTL.Milliseconds(),
@@ -577,10 +619,15 @@ func (c *Coordinator) grantLocked(ws *workerState) (*LeasedJob, func()) {
 		}
 		c.pending = append(c.pending[:i], c.pending[i+1:]...)
 		t.worker = ws.id
-		t.leaseExpiry = time.Now().Add(c.cfg.LeaseTTL)
+		t.workerName = ws.name
+		t.leaseStart = time.Now()
+		t.leaseExpiry = t.leaseStart.Add(c.cfg.LeaseTTL)
 		t.attempts++
 		ws.leased[t.job.ID] = t
 		c.dispatched++
+		c.log.Info("lease granted",
+			"job", t.job.ID, "trace_id", t.job.TraceID,
+			"worker", ws.name, "worker_id", ws.id, "attempt", t.attempts)
 		lease := &LeasedJob{
 			ID:      t.job.ID,
 			Attempt: t.attempts,
@@ -588,6 +635,7 @@ func (c *Coordinator) grantLocked(ws *workerState) (*LeasedJob, func()) {
 			System:  t.rawSystem,
 			Engines: t.job.Engines,
 			Config:  t.job.Config,
+			TraceID: t.job.TraceID,
 		}
 		var started func()
 		if !t.started {
@@ -636,6 +684,19 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	if t.job.Pruned != nil {
 		t.job.Pruned(t.basePE+req.PrunedEquiv, t.basePF+req.PrunedFTO)
 	}
+	// Gauges are instantaneous, not cumulative: the current attempt's view
+	// simply overwrites the job's — no base+last fold.
+	if t.job.Gauges != nil {
+		t.job.Gauges(req.Incumbent, req.BestF, req.OpenLen)
+	}
+	// Worker-side spans arrive on terminal reports; fold them into the
+	// job's trace so the remote attempt's timeline reads alongside the
+	// coordinator's own lease spans.
+	if t.job.Trace != nil {
+		for _, sp := range req.Spans {
+			t.job.Trace.Record(sp)
+		}
+	}
 	switch {
 	case req.Abandon:
 		// Abandon hands back exactly this job (docs/API.md): it re-queues
@@ -646,6 +707,11 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 		c.requeueLocked(t, fmt.Sprintf("worker %s (%s) handed the job back", ws.name, ws.id), false)
 	case req.Done:
 		ws.jobsDone++
+		leaseOutcome := "done"
+		if req.Error != "" {
+			leaseOutcome = "error"
+		}
+		t.leaseSpanLocked(leaseOutcome)
 		c.resolveLocked(t, outcome{res: req.Result, errMessage: req.Error})
 	}
 	c.mu.Unlock()

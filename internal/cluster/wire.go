@@ -3,6 +3,7 @@ package cluster
 import (
 	"encoding/json"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -61,6 +62,10 @@ type LeasedJob struct {
 	System  json.RawMessage  `json:"system"`
 	Engines []string         `json:"engines"`
 	Config  server.JobConfig `json:"config"`
+	// TraceID is the job's trace identifier, assigned by the daemon at
+	// submission; the worker stamps it on its log records and the spans it
+	// reports back, so the remote attempt correlates end to end.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // LeaseResponse is the body of a 200 lease reply; Job is null when the
@@ -84,11 +89,22 @@ type ReportRequest struct {
 	Generated   int64 `json:"generated"`
 	PrunedEquiv int64 `json:"pruned_equiv,omitempty"`
 	PrunedFTO   int64 `json:"pruned_fto,omitempty"`
+	// Incumbent/BestF/OpenLen are the attempt's convergence gauges — the
+	// incumbent upper bound, the max frontier f, and the live OPEN
+	// population — folded into the job's progress like the counters, so
+	// the daemon's telemetry sampler sees a remote search converge too.
+	Incumbent int32 `json:"incumbent,omitempty"`
+	BestF     int32 `json:"best_f,omitempty"`
+	OpenLen   int64 `json:"open_len,omitempty"`
 
 	Done    bool              `json:"done,omitempty"`
 	Result  *server.JobResult `json:"result,omitempty"`
 	Error   string            `json:"error,omitempty"`
 	Abandon bool              `json:"abandon,omitempty"`
+	// Spans carries the worker-side lifecycle spans of the attempt
+	// (decode, solve), sent on terminal reports only; the coordinator
+	// folds them into the job's trace.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // ReportResponse acknowledges a report. Cancel tells the worker to stop

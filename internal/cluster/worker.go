@@ -6,14 +6,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/procgraph"
 	"repro/internal/server"
 	"repro/internal/solverpool"
@@ -32,6 +35,11 @@ type WorkerConfig struct {
 	Client *http.Client
 	// Logf receives operational messages; nil discards them.
 	Logf func(format string, args ...any)
+	// Logger receives the worker's structured log records — registration,
+	// lease lifecycle, report failures — stamped with each job's trace_id.
+	// nil discards them. Logf and Logger are independent sinks; production
+	// binaries set Logger, tests often capture Logf.
+	Logger *slog.Logger
 }
 
 // Worker pulls leased jobs from a coordinator and solves them on a local
@@ -51,6 +59,7 @@ type Worker struct {
 	pool   *solverpool.Pool
 	client *http.Client
 	logf   func(string, ...any)
+	log    *slog.Logger
 
 	id          string
 	reportEvery time.Duration
@@ -75,12 +84,17 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	return &Worker{
 		base:   strings.TrimRight(cfg.Coordinator, "/"),
 		name:   name,
 		pool:   solverpool.New(cfg.Slots),
 		client: client,
 		logf:   logf,
+		log:    logger,
 	}
 }
 
@@ -294,18 +308,30 @@ func (w *Worker) pull(ctx context.Context) error {
 // all.
 func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) {
 	w.logf("job %s (attempt %d): %s", lease.ID, lease.Attempt, strings.Join(lease.Engines, ","))
+	w.log.Info("lease received",
+		"job", lease.ID, "trace_id", lease.TraceID,
+		"attempt", lease.Attempt, "engines", strings.Join(lease.Engines, ","))
+	// The attempt's spans accumulate locally and ship on the terminal
+	// report; origin "worker:<name>" tells the trace reader which process
+	// observed them.
+	rec := obs.NewRecorder(lease.TraceID)
+	origin := obs.OriginWorker + ":" + w.name
+	progress := &solverpool.Progress{}
+	decode := rec.Start("decode", origin)
 	g, err := taskgraph.FromJSON(lease.Graph)
 	if err != nil {
-		w.finishJob(workerID, lease.ID, 0, 0, 0, 0, nil, fmt.Sprintf("decode graph: %v", err))
+		decode.End("outcome", "error")
+		w.finishJob(workerID, lease.ID, progress, rec, nil, fmt.Sprintf("decode graph: %v", err))
 		return
 	}
 	sys, err := procgraph.FromJSON(lease.System)
 	if err != nil {
-		w.finishJob(workerID, lease.ID, 0, 0, 0, 0, nil, fmt.Sprintf("decode system: %v", err))
+		decode.End("outcome", "error")
+		w.finishJob(workerID, lease.ID, progress, rec, nil, fmt.Sprintf("decode system: %v", err))
 		return
 	}
+	decode.End("tasks", strconv.Itoa(g.NumNodes()))
 
-	progress := &solverpool.Progress{}
 	cfg := lease.Config.EngineConfig()
 	progress.Attach(&cfg)
 	jobCtx, cancelJob := context.WithCancel(ctx)
@@ -328,10 +354,12 @@ func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) 
 			}
 			exp, gen := progress.Snapshot()
 			pe, pf := progress.SnapshotPruned()
+			inc, bestF, open := progress.Gauges()
 			var ack ReportResponse
 			err := w.post(jobCtx, "/v1/workers/jobs/"+lease.ID+"/report",
 				ReportRequest{WorkerID: workerID, Expanded: exp, Generated: gen,
-					PrunedEquiv: pe, PrunedFTO: pf}, &ack)
+					PrunedEquiv: pe, PrunedFTO: pf,
+					Incumbent: inc, BestF: bestF, OpenLen: open}, &ack)
 			// 410: the lease is gone (cancelled or re-queued elsewhere).
 			// 404: the coordinator forgot this worker entirely — the job
 			// has been (or is about to be) re-leased under someone else,
@@ -347,6 +375,7 @@ func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) 
 
 	var res *server.JobResult
 	var errMessage string
+	solve := rec.Start("solve", origin)
 	if len(lease.Engines) > 1 {
 		pf, err := w.pool.SolvePortfolio(jobCtx, g, sys, lease.Engines, cfg)
 		if err != nil {
@@ -366,11 +395,15 @@ func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) 
 			res = server.JobResultFromSolve(lease.ID, resp)
 		}
 	}
+	switch {
+	case errMessage != "":
+		solve.End("engines", strings.Join(lease.Engines, ","), "outcome", "error")
+	default:
+		solve.End("engines", strings.Join(lease.Engines, ","))
+	}
 	cancelJob()
 	<-reporterDone
 
-	exp, gen := progress.Snapshot()
-	pe, pf := progress.SnapshotPruned()
 	switch {
 	case w.killed.Load():
 		// A crash reports nothing; the coordinator's failure detector
@@ -379,9 +412,12 @@ func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) 
 		// The lease is gone coordinator-side; a final report would 410.
 	case ctx.Err() != nil:
 		// Draining: hand the job back for another worker to finish.
-		w.abandonJob(workerID, lease.ID, exp, gen, pe, pf)
+		w.abandonJob(workerID, lease.ID, progress)
 	default:
-		w.finishJob(workerID, lease.ID, exp, gen, pe, pf, res, errMessage)
+		w.log.Info("job finished",
+			"job", lease.ID, "trace_id", lease.TraceID,
+			"attempt", lease.Attempt, "error", errMessage)
+		w.finishJob(workerID, lease.ID, progress, rec, res, errMessage)
 	}
 }
 
@@ -392,29 +428,43 @@ func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) 
 // coordinator's lease expiry re-queue the job.
 const terminalReportTimeout = 10 * time.Second
 
+// terminalReport assembles the final totals of an attempt — counters,
+// gauges, and (for Done reports) the attempt's spans — from its live
+// progress and recorder.
+func terminalReport(workerID string, prog *solverpool.Progress, rec *obs.Recorder) ReportRequest {
+	req := ReportRequest{WorkerID: workerID}
+	req.Expanded, req.Generated = prog.Snapshot()
+	req.PrunedEquiv, req.PrunedFTO = prog.SnapshotPruned()
+	req.Incumbent, req.BestF, req.OpenLen = prog.Gauges()
+	if rec != nil {
+		req.Spans, _ = rec.Snapshot()
+	}
+	return req
+}
+
 // finishJob sends the terminal Done report. The coordinator may have
 // revoked the lease meanwhile (410) — then the outcome is simply dropped.
-func (w *Worker) finishJob(workerID, id string, exp, gen, prunedEquiv, prunedFTO int64, res *server.JobResult, errMessage string) {
+func (w *Worker) finishJob(workerID, id string, prog *solverpool.Progress, rec *obs.Recorder, res *server.JobResult, errMessage string) {
 	ctx, cancel := context.WithTimeout(context.Background(), terminalReportTimeout)
 	defer cancel()
-	err := w.post(ctx, "/v1/workers/jobs/"+id+"/report", ReportRequest{
-		WorkerID: workerID, Expanded: exp, Generated: gen,
-		PrunedEquiv: prunedEquiv, PrunedFTO: prunedFTO,
-		Done: true, Result: res, Error: errMessage,
-	}, nil)
+	req := terminalReport(workerID, prog, rec)
+	req.Done, req.Result, req.Error = true, res, errMessage
+	err := w.post(ctx, "/v1/workers/jobs/"+id+"/report", req, nil)
 	if err != nil && statusCode(err) != http.StatusGone {
 		w.logf("job %s: final report failed: %v", id, err)
+		w.log.Warn("final report failed", "job", id, "error", err.Error())
 	}
 }
 
-// abandonJob hands a job back to the coordinator for re-leasing.
-func (w *Worker) abandonJob(workerID, id string, exp, gen, prunedEquiv, prunedFTO int64) {
+// abandonJob hands a job back to the coordinator for re-leasing. No spans
+// ride an Abandon: the attempt did not conclude, and the next lease's
+// worker will record its own.
+func (w *Worker) abandonJob(workerID, id string, prog *solverpool.Progress) {
 	ctx, cancel := context.WithTimeout(context.Background(), terminalReportTimeout)
 	defer cancel()
-	err := w.post(ctx, "/v1/workers/jobs/"+id+"/report", ReportRequest{
-		WorkerID: workerID, Expanded: exp, Generated: gen,
-		PrunedEquiv: prunedEquiv, PrunedFTO: prunedFTO, Abandon: true,
-	}, nil)
+	req := terminalReport(workerID, prog, nil)
+	req.Abandon = true
+	err := w.post(ctx, "/v1/workers/jobs/"+id+"/report", req, nil)
 	if err != nil && statusCode(err) != http.StatusGone {
 		w.logf("job %s: abandon failed: %v", id, err)
 	}

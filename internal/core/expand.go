@@ -128,6 +128,26 @@ type PruneTracer interface {
 	Pruned(equiv, fto int64)
 }
 
+// BoundTracer is optionally implemented by a Tracer to observe the
+// search's convergence live: the incumbent upper bound (the best complete
+// schedule in hand) and the OPEN-list population. Unlike the expansion
+// counters these fire rarely — Incumbent only when the bound improves,
+// OpenDelta once per push/pop — so an atomic-store implementation adds
+// nothing measurable to the hot path. The solverpool Progress gauge
+// implements it to feed the sampled telemetry time-series.
+type BoundTracer interface {
+	// Incumbent reports a new (improved) upper bound on the schedule
+	// length, including the initial list-scheduling bound U.
+	Incumbent(bound int32)
+	// OpenDelta reports a change in the live OPEN-list population:
+	// +1 on push, -1 on pop, or a batch adjustment.
+	OpenDelta(delta int64)
+	// Frontier reports the f value of a state taken for expansion — with
+	// an admissible h this is a proven lower bound on the optimum, so the
+	// max seen is the search's convergence floor.
+	Frontier(f int32)
+}
+
 // Options configures a solve.
 type Options struct {
 	// Disable switches off individual prunings; zero means the full §3.2

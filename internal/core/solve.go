@@ -50,6 +50,11 @@ func SolveModel(m *Model, opt Options) (*Result, error) {
 	exp := m.NewExpander(opt, &stats)
 	exp.UB = ub
 
+	boundTracer, _ := opt.Tracer.(BoundTracer)
+	if boundTracer != nil && ub > 0 {
+		boundTracer.Incumbent(ub)
+	}
+
 	var goalBest *State
 	exp.Bound = func() int32 {
 		if goalBest == nil {
@@ -63,10 +68,16 @@ func SolveModel(m *Model, opt Options) (*Result, error) {
 		if c.Complete(m) {
 			if goalBest == nil || c.f < goalBest.f {
 				goalBest = c
+				if boundTracer != nil {
+					boundTracer.Incumbent(c.f)
+				}
 			}
 			return
 		}
 		open.Push(c)
+		if boundTracer != nil {
+			boundTracer.OpenDelta(1)
+		}
 	}
 
 	exp.Expand(Root(), visited, emit)
@@ -90,6 +101,10 @@ func SolveModel(m *Model, opt Options) (*Result, error) {
 			break
 		}
 		s := open.Pop()
+		if boundTracer != nil {
+			boundTracer.OpenDelta(-1)
+			boundTracer.Frontier(s.f)
+		}
 		exp.Expand(s, visited, emit)
 	}
 	stats.VisitedSize = visited.Len()

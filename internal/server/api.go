@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/procgraph"
 	"repro/internal/schedule"
 	"repro/internal/solverpool"
@@ -202,6 +203,29 @@ type JobList struct {
 	Jobs []JobStatus `json:"jobs"`
 }
 
+// TraceResponse is the body of GET /v1/jobs/{id}/trace: the job's
+// lifecycle spans ordered by start time — daemon, coordinator, and remote
+// worker origins folded into one timeline — plus the sampled search
+// telemetry when a solve actually ran (a cache-hit job has none).
+type TraceResponse struct {
+	ID      string     `json:"id"`
+	TraceID string     `json:"trace_id"`
+	State   string     `json:"state"`
+	Spans   []obs.Span `json:"spans"`
+	// DroppedSpans counts spans discarded past the per-job cap.
+	DroppedSpans int               `json:"dropped_spans,omitempty"`
+	Telemetry    *TelemetryPayload `json:"telemetry,omitempty"`
+}
+
+// TelemetryPayload is the sampled convergence time-series of one job's
+// search: the retained trailing samples, the lifetime sample count
+// (total > len(samples) means the ring wrapped), and the roll-up.
+type TelemetryPayload struct {
+	Samples []obs.Sample `json:"samples"`
+	Total   int          `json:"total"`
+	Summary obs.Summary  `json:"summary"`
+}
+
 // PlacementPayload is one task's assignment in a wire schedule.
 type PlacementPayload struct {
 	Node   int32  `json:"node"`
@@ -305,6 +329,25 @@ type Health struct {
 	// Cluster is the coordinator view; absent when the daemon runs
 	// without -cluster.
 	Cluster *ClusterHealth `json:"cluster,omitempty"`
+	// Build identifies the running binary (also exported as the
+	// repro_build_info metric).
+	Build *BuildInfo `json:"build,omitempty"`
+}
+
+// BuildInfo is the binary's identity from debug.ReadBuildInfo: surfaced
+// in /v1/healthz and as the repro_build_info metric so an operator can
+// tell which revision answered.
+type BuildInfo struct {
+	// Module is the main module path ("repro").
+	Module string `json:"module,omitempty"`
+	// Version is the main module version ("(devel)" for source builds).
+	Version string `json:"version,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit the binary was built from, when stamped.
+	Revision string `json:"revision,omitempty"`
+	// Dirty marks a build from a modified working tree.
+	Dirty bool `json:"dirty,omitempty"`
 }
 
 // ClusterHealth is the coordinator's aggregate view inside /v1/healthz.

@@ -1,0 +1,30 @@
+package server
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// buildInfo reads the binary's identity once: module path/version from
+// the main module, the Go toolchain, and the VCS revision when the build
+// was stamped (a plain `go build` in a git checkout stamps it; `go test`
+// binaries carry no VCS settings and report only module + toolchain).
+var buildInfo = sync.OnceValue(func() *BuildInfo {
+	out := &BuildInfo{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.Module = bi.Main.Path
+	out.Version = bi.Main.Version
+	out.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.modified":
+			out.Dirty = s.Value == "true"
+		}
+	}
+	return out
+})

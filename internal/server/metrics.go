@@ -15,11 +15,71 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// histogram is a hand-rolled Prometheus fixed-bucket histogram (the
+// repository takes no dependencies). Bounds are inclusive upper bounds in
+// ascending order; the implicit final bucket is +Inf. Observations are a
+// mutex plus a short linear scan — fine at job granularity (a handful per
+// second), not meant for per-expansion events.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1, the last being the +Inf overflow
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// writeTo renders the family's _bucket/_sum/_count lines for one label
+// set (labels like `cache="cold"`, or empty); buckets are cumulative per
+// the exposition format. The caller writes the shared HELP/TYPE header —
+// label variants of one family must stay under a single header.
+func (h *histogram) writeTo(put func(format string, args ...any), name, labels string) {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	prefix := ""
+	suffix := ""
+	if labels != "" {
+		prefix = labels + ","
+		suffix = "{" + labels + "}"
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += counts[i]
+		put(`%s_bucket{%sle="%s"} %d`, name, prefix, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += counts[len(h.bounds)]
+	put(`%s_bucket{%sle="+Inf"} %d`, name, prefix, cum)
+	put("%s_sum%s %s", name, suffix, strconv.FormatFloat(sum, 'g', -1, 64))
+	put("%s_count%s %d", name, suffix, count)
+}
+
+// latencyBuckets covers the serving tier's dynamic range: sub-millisecond
+// cache hits through minute-long budgeted searches.
+var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
 
 // metrics accumulates the server-lifetime counters the store cannot
 // answer after jobs are swept: submissions, completions by state, and
@@ -33,6 +93,15 @@ type metrics struct {
 
 	mu      sync.Mutex
 	engines map[string]*engineTotals // finished jobs' final counters
+
+	// Latency histograms, observed once per finished job: queue wait
+	// (admission → solve start), solve wall time split by schedule-cache
+	// outcome (cold = a real search ran, warm = memo answer), and the
+	// end-to-end latency a submitter experienced.
+	queueWait *histogram
+	solveCold *histogram
+	solveWarm *histogram
+	e2e       *histogram
 }
 
 // engineTotals is one engine-selection's accumulated search effort.
@@ -44,7 +113,14 @@ type engineTotals struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), engines: map[string]*engineTotals{}}
+	return &metrics{
+		start:     time.Now(),
+		engines:   map[string]*engineTotals{},
+		queueWait: newHistogram(latencyBuckets),
+		solveCold: newHistogram(latencyBuckets),
+		solveWarm: newHistogram(latencyBuckets),
+		e2e:       newHistogram(latencyBuckets),
+	}
 }
 
 // engineKey labels a job's engine selection: the single engine, or the
@@ -61,6 +137,20 @@ func (m *metrics) recordFinish(state string, j *job) {
 		m.failed.Add(1)
 	case StateCancelled:
 		m.cancelled.Add(1)
+	}
+	// The lifecycle timestamps are stable once finish returned a terminal
+	// state, so these reads need no lock.
+	if !j.finished.IsZero() {
+		m.e2e.observe(j.finished.Sub(j.created).Seconds())
+		if !j.started.IsZero() {
+			m.queueWait.observe(j.started.Sub(j.created).Seconds())
+			solve := j.finished.Sub(j.started).Seconds()
+			if j.cacheNote == "hit" {
+				m.solveWarm.observe(solve)
+			} else {
+				m.solveCold.observe(solve)
+			}
+		}
 	}
 	expanded, generated := j.progress.Snapshot()
 	equiv, fto := j.progress.SnapshotPruned()
@@ -165,26 +255,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	put("# HELP icpp98_engine_expanded_total Search states expanded, by engine selection.")
-	put("# TYPE icpp98_engine_expanded_total counter")
-	for _, k := range keys {
-		put(`icpp98_engine_expanded_total{engine=%q} %d`, k, totals[k].expanded)
+	// A family with zero series is omitted entirely (no orphan TYPE
+	// headers): the engine breakdown only exists once a job has run.
+	if len(keys) > 0 {
+		put("# HELP icpp98_engine_expanded_total Search states expanded, by engine selection.")
+		put("# TYPE icpp98_engine_expanded_total counter")
+		for _, k := range keys {
+			put(`icpp98_engine_expanded_total{engine=%q} %d`, k, totals[k].expanded)
+		}
+		put("# HELP icpp98_engine_generated_total Search states generated, by engine selection.")
+		put("# TYPE icpp98_engine_generated_total counter")
+		for _, k := range keys {
+			put(`icpp98_engine_generated_total{engine=%q} %d`, k, totals[k].generated)
+		}
+		put("# HELP icpp98_engine_pruned_equiv_total Ready nodes skipped by equivalent-task pruning, by engine selection.")
+		put("# TYPE icpp98_engine_pruned_equiv_total counter")
+		for _, k := range keys {
+			put(`icpp98_engine_pruned_equiv_total{engine=%q} %d`, k, totals[k].prunedEquiv)
+		}
+		put("# HELP icpp98_engine_pruned_fto_total Ready nodes collapsed by fixed-task-order pruning, by engine selection.")
+		put("# TYPE icpp98_engine_pruned_fto_total counter")
+		for _, k := range keys {
+			put(`icpp98_engine_pruned_fto_total{engine=%q} %d`, k, totals[k].prunedFTO)
+		}
 	}
-	put("# HELP icpp98_engine_generated_total Search states generated, by engine selection.")
-	put("# TYPE icpp98_engine_generated_total counter")
-	for _, k := range keys {
-		put(`icpp98_engine_generated_total{engine=%q} %d`, k, totals[k].generated)
-	}
-	put("# HELP icpp98_engine_pruned_equiv_total Ready nodes skipped by equivalent-task pruning, by engine selection.")
-	put("# TYPE icpp98_engine_pruned_equiv_total counter")
-	for _, k := range keys {
-		put(`icpp98_engine_pruned_equiv_total{engine=%q} %d`, k, totals[k].prunedEquiv)
-	}
-	put("# HELP icpp98_engine_pruned_fto_total Ready nodes collapsed by fixed-task-order pruning, by engine selection.")
-	put("# TYPE icpp98_engine_pruned_fto_total counter")
-	for _, k := range keys {
-		put(`icpp98_engine_pruned_fto_total{engine=%q} %d`, k, totals[k].prunedFTO)
-	}
+
+	put("# HELP icpp98_job_queue_seconds Queue wait per finished job: admission to solve start.")
+	put("# TYPE icpp98_job_queue_seconds histogram")
+	s.metrics.queueWait.writeTo(put, "icpp98_job_queue_seconds", "")
+	put("# HELP icpp98_job_solve_seconds Solve wall time per finished job, by schedule-cache outcome (cold = a search ran, warm = memo answer).")
+	put("# TYPE icpp98_job_solve_seconds histogram")
+	s.metrics.solveCold.writeTo(put, "icpp98_job_solve_seconds", `cache="cold"`)
+	s.metrics.solveWarm.writeTo(put, "icpp98_job_solve_seconds", `cache="warm"`)
+	put("# HELP icpp98_job_e2e_seconds End-to-end latency per finished job: admission to terminal state.")
+	put("# TYPE icpp98_job_e2e_seconds histogram")
+	s.metrics.e2e.writeTo(put, "icpp98_job_e2e_seconds", "")
+
+	bi := buildInfo()
+	put("# HELP repro_build_info Build identity of the running binary; the value is always 1.")
+	put("# TYPE repro_build_info gauge")
+	put(`repro_build_info{module=%q,version=%q,go_version=%q,revision=%q} 1`,
+		bi.Module, bi.Version, bi.GoVersion, bi.Revision)
 
 	put("# HELP icpp98_uptime_seconds Seconds since the server started.")
 	put("# TYPE icpp98_uptime_seconds gauge")

@@ -38,12 +38,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/procgraph"
 	"repro/internal/solverpool"
 	"repro/internal/taskgraph"
@@ -78,6 +80,17 @@ type Config struct {
 	// join and contracts as they die. 0 keeps only the store-capacity
 	// backpressure of the non-clustered daemon.
 	BacklogPerSlot int
+	// SampleInterval is the search-telemetry sampling cadence; <= 0
+	// selects obs.DefaultSampleInterval (250ms). The sampler reads the
+	// job's atomic progress counters from outside the search, so shorter
+	// intervals buy resolution, never solve overhead.
+	SampleInterval time.Duration
+	// Logger receives the daemon's structured log records, each stamped
+	// with the job's trace_id; nil discards them (tests, embedding).
+	Logger *slog.Logger
+	// SlowJob, when > 0, logs a warning with the job's final telemetry
+	// summary for every job whose end-to-end latency meets the threshold.
+	SlowJob time.Duration
 }
 
 // DispatchJob is the server-side view of a job a Dispatcher may run on
@@ -96,6 +109,17 @@ type DispatchJob struct {
 	// Pruned folds the worker's reported absolute pruning counters
 	// (equivalent-task, fixed-task-order) into the job's live progress.
 	Pruned func(equiv, fto int64)
+	// Gauges folds the worker's reported convergence gauges (incumbent
+	// upper bound, frontier f, OPEN population) into the job's live
+	// progress. Nil-safe for coordinators built before the hook existed.
+	Gauges func(incumbent, bestF int32, open int64)
+	// TraceID travels with the lease so the remote worker's log records
+	// and spans correlate with the coordinator's trace.
+	TraceID string
+	// Trace, when non-nil, receives the lifecycle spans the coordinator
+	// observes (lease grants, failovers) and the spans remote workers
+	// report back.
+	Trace *obs.Recorder
 }
 
 // Dispatcher is the cluster hook: internal/cluster's coordinator
@@ -144,8 +168,11 @@ type Server struct {
 	mux        *http.ServeMux
 	sem        chan struct{}
 	interval   time.Duration
+	sample     time.Duration
 	backlog    int
 	dispatcher Dispatcher // nil without a cluster
+	log        *slog.Logger
+	slowJob    time.Duration
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -191,6 +218,12 @@ func Open(cfg Config) (*Server, error) {
 	} else {
 		store = newStore(cfg.StoreCap, cfg.TTL)
 	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = obs.DefaultSampleInterval
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	pool := solverpool.New(cfg.Workers)
 	s := &Server{
 		pool:     pool,
@@ -199,7 +232,10 @@ func Open(cfg Config) (*Server, error) {
 		metrics:  newMetrics(),
 		sem:      make(chan struct{}, pool.Workers()),
 		interval: cfg.StreamInterval,
+		sample:   cfg.SampleInterval,
 		backlog:  cfg.BacklogPerSlot,
+		log:      cfg.Logger,
+		slowJob:  cfg.SlowJob,
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
@@ -208,6 +244,7 @@ func Open(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
@@ -269,6 +306,7 @@ func WriteError(w http.ResponseWriter, code int, format string, args ...any) {
 // unknown engine — is a 400 here; a job that exists always has a
 // well-formed instance.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	admitStart := time.Now()
 	select {
 	case <-s.baseCtx.Done():
 		WriteError(w, http.StatusServiceUnavailable, "server is shutting down")
@@ -322,6 +360,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		config:   req.Config,
 		cancel:   cancel,
 		progress: &solverpool.Progress{},
+		trace:    obs.NewRecorder(obs.NewTraceID()),
 	}
 	if s.cache != nil {
 		// The key is computed at admission — the instance digest pair plus
@@ -344,6 +383,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Cache == CacheBypass {
 		s.store.noteCache(j, CacheBypass)
 	}
+	// Admission spans decode + validation + store entry; the queue span
+	// picks up from here (markRunning closes it against j.created).
+	j.trace.RecordTimed("admit", obs.OriginDaemon, admitStart, time.Now(),
+		"engines", engineKey(names))
+	s.log.Info("job admitted",
+		"job", id, "trace_id", j.trace.TraceID(),
+		"engines", engineKey(names), "cache", j.cacheNote)
 
 	cfg := req.Config.EngineConfig()
 	j.progress.Attach(&cfg)
@@ -379,6 +425,7 @@ func (s *Server) finishJob(ctx context.Context, j *job, res *JobResult, errMessa
 	if ctx.Err() != nil {
 		s.store.noteInterrupted(j)
 	}
+	persistStart := time.Now()
 	final := s.store.finish(j, res, errMessage)
 	if final == "" {
 		return // a racing finisher already recorded the outcome
@@ -391,6 +438,51 @@ func (s *Server) finishJob(ctx context.Context, j *job, res *JobResult, errMessa
 			s.cache.Put(j.cacheKey, data)
 		}
 	}
+	// The persist span covers the terminal store write (the WAL append,
+	// when the store is file-backed) and the cache refill.
+	if j.trace != nil {
+		j.trace.RecordTimed("persist", obs.OriginDaemon, persistStart, time.Now(), "state", final)
+	}
+	// Quiesce the sampler before the closing log reads the ring, so a job
+	// faster than one sample interval still reports its final counters.
+	if stop := j.stopSampler.Load(); stop != nil {
+		(*stop)()
+	}
+	s.logFinish(j, final, errMessage)
+}
+
+// logFinish emits the job's closing log record, escalating to a warning
+// with the final telemetry summary when the end-to-end latency crosses
+// the slow-job threshold. The lifecycle fields are stable once finish
+// returned a terminal state, so the reads need no lock.
+func (s *Server) logFinish(j *job, final, errMessage string) {
+	e2e := j.finished.Sub(j.created)
+	traceID := ""
+	if j.trace != nil {
+		traceID = j.trace.TraceID()
+	}
+	attrs := []any{
+		"job", j.id, "trace_id", traceID, "state", final,
+		"engines", engineKey(j.engines), "e2e_ms", e2e.Milliseconds(),
+	}
+	if !j.started.IsZero() {
+		attrs = append(attrs, "queue_ms", j.started.Sub(j.created).Milliseconds(),
+			"solve_ms", j.finished.Sub(j.started).Milliseconds())
+	}
+	if j.cacheNote != "" {
+		attrs = append(attrs, "cache", j.cacheNote)
+	}
+	if errMessage != "" {
+		attrs = append(attrs, "error", errMessage)
+	}
+	if s.slowJob > 0 && e2e >= s.slowJob {
+		if ring := j.ring.Load(); ring != nil {
+			attrs = append(attrs, "telemetry", ring.Summary())
+		}
+		s.log.Warn("slow job", attrs...)
+		return
+	}
+	s.log.Info("job finished", attrs...)
 }
 
 // run is the job's lifecycle goroutine: offer the job to the cluster when
@@ -410,9 +502,11 @@ func (s *Server) run(ctx context.Context, j *job, cfg engine.Config) {
 	// honors a cancel that beat us here), with zero progress counters —
 	// the observable proof that no search ran.
 	if j.cacheOK && !j.cacheBypass {
+		lookup := j.trace.Start("cache", obs.OriginDaemon)
 		if data, ok := s.cache.Get(j.cacheKey); ok {
 			var res JobResult
 			if err := json.Unmarshal(data, &res); err == nil {
+				lookup.End("outcome", "hit")
 				res.ID = j.id
 				if s.store.markRunning(j) {
 					s.store.noteCache(j, "hit")
@@ -423,7 +517,17 @@ func (s *Server) run(ctx context.Context, j *job, cfg engine.Config) {
 				return
 			}
 		}
+		lookup.End("outcome", "miss")
 	}
+	// From here a real search runs (locally or on the cluster): install the
+	// telemetry ring and sample the job's progress counters until the job
+	// resolves. A cache hit returned above, so its trace keeps the cache
+	// span and no solve spans or samples — the proof no search ran.
+	ring := obs.NewRing(0)
+	j.ring.Store(ring)
+	stopSampler := obs.StartSampler(ctx, j.progress, s.sample, ring)
+	j.stopSampler.Store(&stopSampler)
+	defer stopSampler()
 	if d := s.dispatcher; d != nil {
 		if d.FreeSlots() <= 0 {
 			// Every remote slot is busy (or absent) at admission time: an
@@ -439,6 +543,7 @@ func (s *Server) run(ctx context.Context, j *job, cfg engine.Config) {
 			default:
 			}
 		}
+		dispatch := j.trace.Start("dispatch", obs.OriginDaemon)
 		res, errMessage, handled := d.Dispatch(ctx, DispatchJob{
 			ID:       j.id,
 			Graph:    j.graph,
@@ -448,7 +553,11 @@ func (s *Server) run(ctx context.Context, j *job, cfg engine.Config) {
 			Started:  func() { s.store.markRunning(j) },
 			Progress: j.progress.Record,
 			Pruned:   j.progress.RecordPruned,
+			Gauges:   j.progress.RecordGauges,
+			TraceID:  j.trace.TraceID(),
+			Trace:    j.trace,
 		})
+		dispatch.End("handled", strconv.FormatBool(handled))
 		if handled {
 			s.finishJob(ctx, j, res, errMessage)
 			return
@@ -472,12 +581,15 @@ func (s *Server) runLocal(ctx context.Context, j *job, cfg engine.Config) {
 		return
 	}
 
+	solve := j.trace.Start("solve", obs.OriginDaemon)
 	if len(j.engines) > 1 {
 		pf, err := s.pool.SolvePortfolio(ctx, j.graph, j.system, j.engines, cfg)
 		if err != nil {
+			solve.End("engines", engineKey(j.engines), "outcome", "error")
 			s.finishJob(ctx, j, nil, err.Error())
 			return
 		}
+		solve.End("engines", engineKey(j.engines), "winner", pf.Winner)
 		s.finishJob(ctx, j, JobResultFromPortfolio(j.id, pf), "")
 		return
 	}
@@ -486,9 +598,11 @@ func (s *Server) runLocal(ctx context.Context, j *job, cfg engine.Config) {
 		Graph: j.graph, System: j.system, Engine: j.engines[0], Config: cfg,
 	})
 	if resp.Err != nil {
+		solve.End("engine", j.engines[0], "outcome", "error")
 		s.finishJob(ctx, j, nil, resp.Err.Error())
 		return
 	}
+	solve.End("engine", j.engines[0])
 	// Engines contract a non-nil schedule, but a daemon must not be one
 	// registry bug away from a goroutine panic: JobResultFromSolve returns
 	// nil for a schedule-less response and the job records a schedule-less
@@ -609,6 +723,61 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTrace serves the job's end-to-end trace: lifecycle spans (local
+// and remote) ordered by start time plus the sampled search telemetry.
+// ?format=ndjson streams typed lines — one "trace" header, then a "span"
+// line per span and a "sample" line per telemetry sample — for tools
+// that process traces incrementally.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	if j.trace == nil {
+		// Only jobs recovered from a persisted store lack a recorder:
+		// traces are in-memory observability, not part of the durable record.
+		WriteError(w, http.StatusNotFound, "job %s has no trace (recovered from a previous run)", j.id)
+		return
+	}
+	st := s.store.status(j)
+	spans, dropped := j.trace.Snapshot()
+	resp := TraceResponse{
+		ID:           j.id,
+		TraceID:      j.trace.TraceID(),
+		State:        st.State,
+		Spans:        spans,
+		DroppedSpans: dropped,
+	}
+	if ring := j.ring.Load(); ring != nil {
+		samples, total := ring.Snapshot()
+		resp.Telemetry = &TelemetryPayload{Samples: samples, Total: total, Summary: ring.Summary()}
+	}
+	if r.URL.Query().Get("format") == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		enc.Encode(map[string]any{
+			"type": "trace", "id": resp.ID, "trace_id": resp.TraceID,
+			"state": resp.State, "dropped_spans": resp.DroppedSpans,
+		})
+		for _, sp := range resp.Spans {
+			enc.Encode(struct {
+				Type string `json:"type"`
+				obs.Span
+			}{"span", sp})
+		}
+		if resp.Telemetry != nil {
+			for _, sm := range resp.Telemetry.Samples {
+				enc.Encode(struct {
+					Type string `json:"type"`
+					obs.Sample
+				}{"sample", sm})
+			}
+		}
+		return
+	}
+	WriteJSON(w, http.StatusOK, resp)
+}
+
 // handleCancel requests cancellation and reports the resulting status.
 // Cancelling a terminal job is a no-op 200, matching the idempotency a
 // retrying client needs; the handler does not wait for the solve to
@@ -656,6 +825,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		ModelHits:    ps.ModelHits,
 		ActiveJobs:   s.store.active(),
 		Capacity:     s.capacity(),
+		Build:        buildInfo(),
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/procgraph"
 	"repro/internal/stg"
 	"repro/internal/taskgraph"
@@ -1053,3 +1054,80 @@ func TestOversizeGraphRejected(t *testing.T) {
 		t.Fatalf("error %q does not name the %d-node cap", e.Error, core.MaxNodes)
 	}
 }
+
+// getTrace fetches and decodes GET /v1/jobs/{id}/trace.
+func getTrace(t *testing.T, base, id string) TraceResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace %s: got %d", id, resp.StatusCode)
+	}
+	var tr TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestTraceCacheHitVsMiss is the ISSUE 8 acceptance check on the local
+// path: a cold job's trace carries a cache miss and a real solve span,
+// while the identical resubmission's trace shows the cache hit and — the
+// observable proof no search ran — no solve span and no telemetry.
+func TestTraceCacheHitVsMiss(t *testing.T) {
+	_, base := newTestServer(t, Config{Workers: 1})
+	req := SubmitRequest{GraphText: paperText(t), System: json.RawMessage(`"ring:3"`), Engine: "astar"}
+
+	cold := postJob(t, base, req).ID
+	if st := waitTerminal(t, base, cold); st.State != StateDone {
+		t.Fatalf("cold job ended %s (%s)", st.State, st.Error)
+	}
+	ct := getTrace(t, base, cold)
+	if ct.TraceID == "" {
+		t.Fatal("cold trace has no trace ID")
+	}
+	coldSpans := map[string]obs.Span{}
+	for _, sp := range ct.Spans {
+		coldSpans[sp.Name] = sp
+	}
+	for _, name := range []string{"admit", "cache", "queue", "solve", "persist"} {
+		if _, ok := coldSpans[name]; !ok {
+			t.Errorf("cold trace missing %q span: %+v", name, ct.Spans)
+		}
+	}
+	if got := attrOf(coldSpans["cache"], "outcome"); got != "miss" {
+		t.Errorf("cold cache span outcome %q, want miss", got)
+	}
+
+	warm := postJob(t, base, req).ID
+	if st := waitTerminal(t, base, warm); st.State != StateDone {
+		t.Fatalf("warm job ended %s (%s)", st.State, st.Error)
+	}
+	wt := getTrace(t, base, warm)
+	if wt.TraceID == "" || wt.TraceID == ct.TraceID {
+		t.Fatalf("warm trace ID %q (cold %q): want a fresh non-empty ID", wt.TraceID, ct.TraceID)
+	}
+	var sawCache bool
+	for _, sp := range wt.Spans {
+		switch sp.Name {
+		case "cache":
+			sawCache = true
+			if got := attrOf(sp, "outcome"); got != "hit" {
+				t.Errorf("warm cache span outcome %q, want hit", got)
+			}
+		case "solve", "dispatch":
+			t.Errorf("warm trace carries a %q span — the cache hit should have skipped the solve path", sp.Name)
+		}
+	}
+	if !sawCache {
+		t.Fatalf("warm trace has no cache span: %+v", wt.Spans)
+	}
+	if wt.Telemetry != nil {
+		t.Errorf("warm trace carries telemetry (%d samples) — no search ran", wt.Telemetry.Total)
+	}
+}
+
+func attrOf(sp obs.Span, key string) string { return sp.Attrs[key] }

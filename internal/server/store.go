@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/procgraph"
 	"repro/internal/solverpool"
 	"repro/internal/taskgraph"
@@ -51,6 +53,19 @@ type job struct {
 	progress *solverpool.Progress
 	done     chan struct{} // closed when the job reaches a terminal state
 	eventSeq int64         // /events snapshots emitted so far (across all streams)
+
+	// trace is the job's span recorder, created at submission; nil only on
+	// jobs recovered from a persisted store (traces are in-memory only —
+	// a restart keeps results fetchable, not their timelines).
+	trace *obs.Recorder
+	// ring is the sampled search telemetry, installed when the job's solve
+	// actually starts (a cache hit never gets one) — atomic because the
+	// run goroutine installs it while trace handlers read.
+	ring atomic.Pointer[obs.Ring]
+	// stopSampler quiesces the telemetry sampler (idempotent; nil until
+	// the sampler starts). finishJob calls it before the closing log so
+	// even a sub-interval job's summary carries its final counters.
+	stopSampler atomic.Pointer[func()]
 
 	state      string
 	created    time.Time
@@ -291,6 +306,11 @@ func (st *memStore) markRunning(j *job) bool {
 	case StateQueued:
 		j.state = StateRunning
 		j.started = st.now()
+		if j.trace != nil {
+			// The queue span is closed here, at the one place every path —
+			// local solve, cluster lease, cache hit — funnels through.
+			j.trace.RecordTimed("queue", obs.OriginDaemon, j.created, j.started)
+		}
 		st.persistLocked(opPut, j)
 		return true
 	case StateRunning:

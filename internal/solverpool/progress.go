@@ -21,6 +21,13 @@ type Progress struct {
 	generated   atomic.Int64
 	prunedEquiv atomic.Int64
 	prunedFTO   atomic.Int64
+
+	// Convergence gauges, fed by the engines' core.BoundTracer hook:
+	// the incumbent upper bound, the max frontier f popped (a proven
+	// lower bound under an admissible h), and the live OPEN population.
+	incumbent atomic.Int32
+	bestF     atomic.Int32
+	openLen   atomic.Int64
 }
 
 // Expanded implements core.Tracer.
@@ -36,6 +43,26 @@ func (p *Progress) Pruned(equiv, fto int64) {
 	p.prunedEquiv.Add(equiv)
 	p.prunedFTO.Add(fto)
 }
+
+// Incumbent implements core.BoundTracer: engines report each improved
+// upper bound (including the initial list-scheduling bound), so the last
+// store is always the tightest.
+func (p *Progress) Incumbent(bound int32) { p.incumbent.Store(bound) }
+
+// Frontier implements core.BoundTracer with a CAS-max: the largest f
+// taken for expansion is the search's proven convergence floor.
+func (p *Progress) Frontier(f int32) {
+	for {
+		cur := p.bestF.Load()
+		if f <= cur || p.bestF.CompareAndSwap(cur, f) {
+			return
+		}
+	}
+}
+
+// OpenDelta implements core.BoundTracer, tracking the live OPEN-list
+// population across every search feeding this Progress.
+func (p *Progress) OpenDelta(delta int64) { p.openLen.Add(delta) }
 
 // ForPPE adapts the counter to the parallel engine's per-PPE tracer hook;
 // every PPE feeds the same aggregate.
@@ -66,6 +93,24 @@ func (p *Progress) Record(expanded, generated int64) {
 func (p *Progress) RecordPruned(equiv, fto int64) {
 	p.prunedEquiv.Store(equiv)
 	p.prunedFTO.Store(fto)
+}
+
+// RecordGauges is Record's counterpart for the convergence gauges.
+func (p *Progress) RecordGauges(incumbent, bestF int32, open int64) {
+	p.incumbent.Store(incumbent)
+	p.bestF.Store(bestF)
+	p.openLen.Store(open)
+}
+
+// Counters implements obs.Source for the telemetry sampler.
+func (p *Progress) Counters() (expanded, generated, prunedEquiv, prunedFTO int64) {
+	return p.expanded.Load(), p.generated.Load(), p.prunedEquiv.Load(), p.prunedFTO.Load()
+}
+
+// Gauges implements obs.Source: the incumbent bound, the frontier floor,
+// and the live OPEN population (zero where the engine publishes none).
+func (p *Progress) Gauges() (incumbent, bestF int32, open int64) {
+	return p.incumbent.Load(), p.bestF.Load(), p.openLen.Load()
 }
 
 // Attach wires the counter into an engine configuration, covering both the

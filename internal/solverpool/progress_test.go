@@ -1,0 +1,71 @@
+package solverpool
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/procgraph"
+)
+
+// TestExpandZeroAllocWithTelemetry is the tier-1 form of the
+// BenchmarkExpandSteadyState gate: the duplicate-saturated expansion hot
+// path must stay allocation-free with a live Progress tracer attached and
+// an obs sampler reading it from another goroutine. If telemetry ever
+// leaks an allocation into Expand, this fails under plain `go test`.
+func TestExpandZeroAllocWithTelemetry(t *testing.T) {
+	g := gen.MustRandom(gen.RandomConfig{V: 24, CCR: 1.0, Seed: 7})
+	m, err := core.NewModel(g, procgraph.Complete(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Progress
+	var stats core.Stats
+	exp := m.NewExpander(core.Options{Tracer: &p}, &stats)
+	visited := core.NewVisited()
+	var pool []*core.State
+	collect := func(c *core.State) { pool = append(pool, c) }
+	exp.Expand(core.Root(), visited, collect)
+	for i := 0; i < len(pool) && len(pool) < 256; i++ {
+		exp.Expand(pool[i], visited, collect)
+	}
+	if len(pool) == 0 {
+		t.Fatal("no states to expand")
+	}
+	stop := obs.StartSampler(context.Background(), &p, obs.DefaultSampleInterval, obs.NewRing(0))
+	defer stop()
+	discard := func(*core.State) {}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		exp.Expand(pool[i%len(pool)], visited, discard)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Expand with telemetry attached: %.1f allocs/op, want 0", allocs)
+	}
+	if exp, _, _, _ := p.Counters(); exp == 0 {
+		t.Fatal("tracer saw no expansions")
+	}
+}
+
+// TestProgressGauges exercises the BoundTracer + Source surface end to
+// end over a real native solve.
+func TestProgressGauges(t *testing.T) {
+	var p Progress
+	p.Incumbent(50)
+	p.Frontier(30)
+	p.Frontier(20) // lower frontier must not regress the max
+	p.OpenDelta(5)
+	p.OpenDelta(-2)
+	inc, bestF, open := p.Gauges()
+	if inc != 50 || bestF != 30 || open != 3 {
+		t.Fatalf("Gauges() = %d, %d, %d; want 50, 30, 3", inc, bestF, open)
+	}
+	p.RecordGauges(44, 44, 0)
+	inc, bestF, open = p.Gauges()
+	if inc != 44 || bestF != 44 || open != 0 {
+		t.Fatalf("after RecordGauges: %d, %d, %d", inc, bestF, open)
+	}
+}
