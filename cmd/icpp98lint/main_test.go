@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/suite"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test binary's working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestSuiteCleanOverRepo is the smoke test CI's lint job depends on: the
+// full suite over every package (tests included) must be finding-free —
+// each invariant violation is either fixed or carries a documented
+// //icpp98:allow suppression.
+func TestSuiteCleanOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repo; skipped in -short")
+	}
+	res, err := driver.RunStandalone(repoRoot(t), []string{"./..."}, true, suite.Analyzers())
+	if err != nil {
+		t.Fatalf("standalone run: %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("%s", d)
+	}
+	if res.Packages == 0 {
+		t.Fatal("no packages analyzed")
+	}
+}
+
+// TestVettoolProtocol drives the real thing: build the binary, hand it to
+// `go vet -vettool` for a package with known hot-path annotations, and
+// require a clean exit. This exercises -V=full, -flags, the vet.cfg
+// unitchecker path, and .vetx fact plumbing exactly as CI runs them.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the lint binary and runs go vet; skipped in -short")
+	}
+	root := repoRoot(t)
+	bin := filepath.Join(t.TempDir(), "icpp98lint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/icpp98lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building icpp98lint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/core/...", "./internal/heapx/...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolRejectsViolation proves the wired-up binary actually fails
+// the build on a seeded violation, with a diagnostic naming the invariant.
+func TestVettoolRejectsViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the lint binary and runs go vet; skipped in -short")
+	}
+	root := repoRoot(t)
+	bin := filepath.Join(t.TempDir(), "icpp98lint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/icpp98lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building icpp98lint: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	writeFile(t, filepath.Join(mod, "go.mod"), "module seeded\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(mod, "seed.go"), `package seeded
+
+//icpp98:hotpath
+func leaky(n int) []int {
+	return make([]int, n)
+}
+`)
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet accepted a seeded hot-path allocation:\n%s", out)
+	}
+	if !strings.Contains(string(out), "hot-path invariant") {
+		t.Fatalf("diagnostic does not name the invariant:\n%s", out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package analysistest runs one analyzer over small fixture packages and
+// checks its findings against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest (reimplemented on the
+// standard library; see the internal/analysis package comment).
+//
+// Layout: <testdata>/src/<pkg>/*.go. A fixture line that should trigger
+// a finding carries a trailing comment with one or more quoted regular
+// expressions:
+//
+//	x := make([]int, n) // want `allocates: make`
+//
+// Packages are checked in the order given, with analyzer facts flowing
+// between them, so a later package can exercise cross-package behavior
+// of an earlier one.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run analyzes each fixture package under dir/src in order and reports
+// every mismatch between the analyzer's findings and the fixtures'
+// // want expectations as a test error.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	r := &runner{t: t, fset: token.NewFileSet(), local: map[string]*types.Package{}, tables: map[string]*analysis.FactSet{}, exports: map[string]string{}}
+	for _, pkg := range pkgs {
+		r.runPkg(dir, pkg, a)
+	}
+}
+
+type runner struct {
+	t       *testing.T
+	fset    *token.FileSet
+	local   map[string]*types.Package    // fixture path -> checked package
+	tables  map[string]*analysis.FactSet // fixture path -> exported facts
+	exports map[string]string            // stdlib path -> export-data file
+	std     types.ImporterFrom           // lazily built export-data importer
+}
+
+func (r *runner) runPkg(dir, pkg string, a *analysis.Analyzer) {
+	r.t.Helper()
+	src := filepath.Join(dir, "src", pkg)
+	names, err := filepath.Glob(filepath.Join(src, "*.go"))
+	if err != nil || len(names) == 0 {
+		r.t.Fatalf("no fixture files under %s", src)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(r.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			r.t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: r.importer(files), Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(pkg, r.fset, files, info)
+	if err != nil {
+		r.t.Fatalf("type-checking fixture %s: %v", pkg, err)
+	}
+	r.local[pkg] = tpkg
+
+	facts := analysis.NewFactSet()
+	var got []analysis.Diagnostic
+	pass := analysis.NewPass(a, r.fset, files, tpkg, info, facts,
+		func(p string) *analysis.FactSet { return r.tables[p] },
+		func(d analysis.Diagnostic) { got = append(got, d) })
+	if err := a.Run(pass); err != nil {
+		r.t.Fatalf("analyzer %s on fixture %s: %v", a.Name, pkg, err)
+	}
+	r.tables[pkg] = facts
+
+	r.check(pkg, files, got)
+}
+
+// expectation is one // want regexp, keyed to its file and line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	used bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func (r *runner) check(pkg string, files []*ast.File, got []analysis.Diagnostic) {
+	r.t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := r.fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						r.t.Errorf("%s:%d: malformed // want expectation: %q", pos.Filename, pos.Line, rest)
+						break
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						r.t.Errorf("%s:%d: bad quoted pattern %s: %v", pos.Filename, pos.Line, q, err)
+						break
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						r.t.Errorf("%s:%d: bad regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						break
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, text: pat})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+
+	for _, d := range got {
+		pos := r.fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			r.t.Errorf("%s: unexpected finding in fixture %s: %s", pos, pkg, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			r.t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.text)
+		}
+	}
+}
+
+// importer resolves fixture-to-fixture imports from the packages checked
+// so far and everything else from compiler export data, fetched lazily
+// with `go list -deps -export` for any stdlib imports the fixtures use.
+func (r *runner) importer(files []*ast.File) types.Importer {
+	var missing []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || r.local[p] != nil || r.exports[p] != "" {
+				continue
+			}
+			missing = append(missing, p)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		// -e tolerates fixture-package names go list cannot resolve; they
+		// come back without Export and the chain importer handles them.
+		out, err := exec.Command("go", append([]string{"list", "-e", "-deps", "-export", "-f", "{{if .Export}}{{.ImportPath}}={{.Export}}{{end}}"}, missing...)...).Output()
+		if err != nil {
+			r.t.Logf("analysistest: go list -export: %v", err)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			if i := strings.IndexByte(line, '='); i > 0 {
+				r.exports[line[:i]] = line[i+1:]
+			}
+		}
+	}
+	if r.std == nil {
+		r.std = importer.ForCompiler(r.fset, "gc", func(path string) (io.ReadCloser, error) {
+			file, ok := r.exports[path]
+			if !ok {
+				return nil, fmt.Errorf("analysistest: no export data for %q (fixture imports must be stdlib or earlier fixture packages)", path)
+			}
+			return os.Open(file)
+		}).(types.ImporterFrom)
+	}
+	return &chain{local: r.local, next: r.std}
+}
+
+type chain struct {
+	local map[string]*types.Package
+	next  types.ImporterFrom
+}
+
+func (c *chain) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chain) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.next.ImportFrom(path, dir, mode)
+}

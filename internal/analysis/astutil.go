@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves the statically-known *types.Func a call invokes: a
+// package-level function or a concrete method (generic instantiations are
+// normalized to their origin). It returns nil for builtins, type
+// conversions, calls of function-typed values, and interface method calls.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			// A method or field selection; fields hold func values, which
+			// have no static callee.
+			if f, ok := sel.Obj().(*types.Func); ok && !types.IsInterface(sel.Recv()) {
+				return f.Origin()
+			}
+			return nil
+		}
+		id = fun.Sel // qualified identifier pkg.F
+	default:
+		return nil
+	}
+	if f, ok := info.Uses[id].(*types.Func); ok {
+		return f.Origin()
+	}
+	return nil
+}
+
+// InterfaceCallee returns the interface method a dynamic call dispatches
+// through, or nil for any other call.
+func InterfaceCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal || !types.IsInterface(s.Recv()) {
+		return nil
+	}
+	f, _ := s.Obj().(*types.Func)
+	return f
+}
+
+// BuiltinName returns the builtin a call invokes ("make", "len", ...) and
+// whether it is one.
+func BuiltinName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name(), true
+	}
+	return "", false
+}
+
+// IsConversion reports whether the call expression is a type conversion,
+// returning the target type.
+func IsConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// ConstStringValue returns the compile-time constant string value of e.
+func ConstStringValue(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// PkgPathOf returns the import path of the package declaring f ("" for
+// builtins or the current package's path for local functions).
+func PkgPathOf(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// FieldObject resolves a selector expression to the struct field it
+// selects (chasing through method-set lookups), or nil.
+func FieldObject(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// NamedReceiver returns the defining named type of a method's receiver
+// (unwrapping pointers and instantiations), or nil.
+func NamedReceiver(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedOf(sig.Recv().Type())
+}
+
+// CommentAllows reports whether the comment group carries an
+// //icpp98:allow directive (with the mandatory reason) for the named
+// analyzer. Analyzers use it for declaration-scoped suppressions — e.g.
+// exempting a whole struct whose JSON shape mirrors an external schema —
+// where the line-based suppression in Pass.Reportf cannot reach.
+func CommentAllows(g *ast.CommentGroup, analyzer string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		rest, ok := strings.CutPrefix(c.Text, AllowPrefix)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) >= 2 && (fields[0] == analyzer || fields[0] == "all") {
+			return true
+		}
+	}
+	return false
+}
+
+// CommentHasDirective reports whether any comment line in g starts with
+// the given directive (e.g. "//icpp98:hotpath").
+func CommentHasDirective(g *ast.CommentGroup, directive string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if c.Text == directive || len(c.Text) > len(directive) && c.Text[:len(directive)] == directive &&
+			(c.Text[len(directive)] == ' ' || c.Text[len(directive)] == '\t') {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+package af
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64        // accessed via sync/atomic in inc: atomic everywhere
+	safe atomic.Int64 // wrapper type: structurally safe
+	m    int64        // plain everywhere: fine
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1) // the sanctioning site
+}
+
+func (c *counter) read() int64 {
+	return c.n // want `races`
+}
+
+func (c *counter) write(v int64) {
+	c.n = v // want `races`
+}
+
+func (c *counter) escape() *int64 {
+	return &c.n // want `races`
+}
+
+func (c *counter) wrapped() int64 {
+	return c.safe.Load()
+}
+
+func (c *counter) plainOnly() int64 {
+	return c.m
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 0 //icpp98:allow atomicfield pre-publication init; no other goroutine can hold c yet
+	return c
+}

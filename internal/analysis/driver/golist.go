@@ -1,0 +1,183 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the loader reads.
+//
+//icpp98:allow wirejson mirrors cmd/go's PascalCase go list schema; the casing is not ours
+type listPkg struct {
+	ImportPath      string
+	Dir             string
+	Name            string
+	ForTest         string // for test variants: the original import path
+	Export          string // export-data file (with -export)
+	GoFiles         []string
+	CgoFiles        []string
+	CompiledGoFiles []string // with -compiled: cgo-processed sources
+	Imports         []string
+	Standard        bool
+	DepOnly         bool
+	Module          *struct{ Path, GoVersion string }
+	Error           *struct{ Err string }
+}
+
+// goList streams `go list` JSON for the patterns in dependency order
+// (dependencies precede dependents; -deps guarantees it).
+func goList(dir string, patterns []string, withTests bool) ([]*listPkg, error) {
+	args := []string{"list", "-e", "-deps", "-export", "-compiled", "-json"}
+	if withTests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("go list: decoding output: %w (stderr: %s)", err, stderr.String())
+		}
+		pkgs = append(pkgs, &p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// Result is the outcome of a standalone run.
+type Result struct {
+	Diagnostics []Diagnostic
+	// Packages is the number of packages analyzed.
+	Packages int
+}
+
+// RunStandalone loads the patterns (plus test variants when withTests is
+// set) in directory dir and runs the analyzers over every non-dependency
+// package, threading facts between them in dependency order. It returns
+// the sorted findings; a non-nil error means the load or an analyzer
+// failed, not that findings exist.
+func RunStandalone(dir string, patterns []string, withTests bool, analyzers []*analysis.Analyzer) (*Result, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns, withTests)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := map[string]string{} // resolved import path -> export file
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(resolved string) (io.ReadCloser, error) {
+		f, ok := exports[resolved]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", resolved)
+		}
+		return openFile(f)
+	}
+
+	fset := token.NewFileSet()
+	tables := map[string]*analysis.FactSet{} // resolved path -> facts
+	plainFiles := map[string]map[string]bool{}
+	res := &Result{}
+	for _, p := range pkgs {
+		if p.DepOnly || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		files := absFiles(p.Dir, p.CompiledGoFiles)
+		if len(files) == 0 {
+			files = absFiles(p.Dir, p.GoFiles)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		importMap := map[string]string{}
+		for _, imp := range p.Imports {
+			src := imp
+			if i := strings.Index(imp, " ["); i >= 0 {
+				src = imp[:i]
+			}
+			importMap[src] = imp
+		}
+		goVersion := ""
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		cp, err := typecheck(fset, p.ImportPath, goVersion, files, gcImporter(fset, importMap, lookup), importMap)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+		}
+		facts := analysis.NewFactSet()
+		diags, err := runAnalyzers(cp, analyzers, facts, func(resolved string) *analysis.FactSet { return tables[resolved] })
+		if err != nil {
+			return nil, err
+		}
+		tables[p.ImportPath] = facts
+		res.Packages++
+
+		if p.ForTest == "" {
+			seen := map[string]bool{}
+			for _, f := range files {
+				seen[f] = true
+			}
+			plainFiles[p.ImportPath] = seen
+			res.Diagnostics = append(res.Diagnostics, diags...)
+			continue
+		}
+		// A test variant re-checks the plain package's files plus its
+		// _test.go files; keep only findings from files the plain pass
+		// (if any ran) did not already cover.
+		covered := plainFiles[p.ForTest]
+		for _, d := range diags {
+			if covered != nil && covered[d.Position.Filename] {
+				continue
+			}
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	sortDiagnostics(res.Diagnostics)
+	return res, nil
+}
+
+func absFiles(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		if filepath.IsAbs(n) {
+			out[i] = n
+		} else {
+			out[i] = filepath.Join(dir, n)
+		}
+	}
+	return out
+}

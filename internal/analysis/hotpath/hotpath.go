@@ -1,0 +1,204 @@
+// Package hotpath enforces the repo's zero-allocation expansion invariant
+// at compile time: a function annotated `//icpp98:hotpath` (the
+// Expander.Expand chain, Mask operations, visited-table probes, heapx)
+// must stay off the garbage collector and off anything that can block.
+// BenchmarkExpandSteadyState pins the same property empirically at
+// 0 allocs/op; this analyzer pins it structurally, so a regression is a
+// build failure rather than a benchmark delta someone has to notice.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Directive marks a function as part of the allocation-free hot path.
+const Directive = "//icpp98:hotpath"
+
+// Fact records that a function is hotpath-annotated, so cross-package
+// calls (core -> heapx, core -> taskgraph) can be proven safe.
+type Fact struct{}
+
+func (*Fact) AFact() {}
+
+// Analyzer is the hotpath invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: `enforce the zero-allocation hot-path invariant
+
+Functions annotated //icpp98:hotpath must not allocate (make, new,
+slice/map literals, closures, interface conversions), must not defer,
+must not spawn goroutines or touch channels, must not use maps, and may
+only call builtins, sync/atomic, math/math/bits, or other annotated
+functions. Dynamic calls (interface methods, function values) cannot be
+resolved statically and are exempt; see docs/STATIC_ANALYSIS.md.`,
+	Run: run,
+}
+
+// allowedPkgs are callee packages that never allocate or block on the
+// paths this repo uses them for.
+var allowedPkgs = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync/atomic": true,
+}
+
+// allowedBuiltins never allocate by themselves (append amortizes against
+// preallocated scratch — the design the arena/scratch layout guarantees —
+// and panic is the failure path, not the hot path).
+var allowedBuiltins = map[string]bool{
+	"len": true, "cap": true, "append": true, "copy": true,
+	"min": true, "max": true, "real": true, "imag": true,
+	"panic": true,
+}
+
+func run(pass *analysis.Pass) error {
+	// Collect the annotated functions of this package and export a fact
+	// for each, so dependent packages can call them.
+	annotated := map[*types.Func]bool{}
+	var bodies []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !analysis.CommentHasDirective(fd.Doc, Directive) {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			annotated[obj.Origin()] = true
+			pass.ExportObjectFact(obj, &Fact{})
+			if fd.Body != nil {
+				bodies = append(bodies, fd)
+			}
+		}
+	}
+	for _, fd := range bodies {
+		checkBody(pass, fd, annotated)
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, annotated map[*types.Func]bool) {
+	name := fd.Name.Name
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hotpath func %s allocates: closure literal (hot-path invariant: 0 allocs/op)", name)
+			return false // the literal's body runs outside this frame's budget
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "hotpath func %s uses defer (hot-path invariant: no defer on the expansion path)", name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "hotpath func %s spawns a goroutine (hot-path invariant)", name)
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "hotpath func %s blocks on select (hot-path invariant)", name)
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "hotpath func %s sends on a channel (hot-path invariant)", name)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pass.Reportf(n.Pos(), "hotpath func %s receives from a channel (hot-path invariant)", name)
+			}
+			if n.Op.String() == "&" {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(cl.Pos(), "hotpath func %s allocates: &composite literal escapes to the heap (hot-path invariant: 0 allocs/op)", name)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "hotpath func %s allocates: slice literal (hot-path invariant: 0 allocs/op)", name)
+				case *types.Map:
+					pass.Reportf(n.Pos(), "hotpath func %s allocates: map literal (hot-path invariant: 0 allocs/op)", name)
+				}
+			}
+		case *ast.IndexExpr:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "hotpath func %s indexes a map (hot-path invariant: scratch arrays, not maps)", name)
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "hotpath func %s ranges over a map (hot-path invariant: scratch arrays, not maps)", name)
+				case *types.Chan:
+					pass.Reportf(n.Pos(), "hotpath func %s ranges over a channel (hot-path invariant)", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, name, n, annotated)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, name string, call *ast.CallExpr, annotated map[*types.Func]bool) {
+	info := pass.TypesInfo
+	if b, ok := analysis.BuiltinName(info, call); ok {
+		switch {
+		case allowedBuiltins[b]:
+		case b == "make" || b == "new":
+			pass.Reportf(call.Pos(), "hotpath func %s allocates: %s (hot-path invariant: 0 allocs/op)", name, b)
+		case b == "delete":
+			pass.Reportf(call.Pos(), "hotpath func %s uses a map (hot-path invariant: scratch arrays, not maps)", name)
+		default:
+			pass.Reportf(call.Pos(), "hotpath func %s calls builtin %s, which may allocate (hot-path invariant)", name, b)
+		}
+		return
+	}
+	if target, ok := analysis.IsConversion(info, call); ok {
+		if types.IsInterface(target) && len(call.Args) == 1 {
+			if tv, ok := info.Types[call.Args[0]]; ok && !types.IsInterface(tv.Type) && tv.Type != types.Typ[types.UntypedNil] {
+				pass.Reportf(call.Pos(), "hotpath func %s converts to an interface, which allocates (hot-path invariant: 0 allocs/op)", name)
+			}
+		}
+		if b, ok := target.Underlying().(*types.Basic); ok && b.Kind() == types.String {
+			if tv, ok := info.Types[call.Args[0]]; ok {
+				if _, isBasic := tv.Type.Underlying().(*types.Basic); !isBasic {
+					pass.Reportf(call.Pos(), "hotpath func %s converts to string, which allocates (hot-path invariant: 0 allocs/op)", name)
+				}
+			}
+		}
+		return
+	}
+	callee := analysis.Callee(info, call)
+	if callee == nil {
+		// Interface methods (the Tracer hooks, Sys cost models) and
+		// function values (the emit callback) dispatch dynamically; the
+		// analyzer cannot see their bodies and exempts them by design.
+		return
+	}
+	if annotated[callee] {
+		return
+	}
+	var fact Fact
+	if pass.ImportObjectFact(callee, &fact) {
+		return
+	}
+	pkg := analysis.PkgPathOf(callee)
+	if allowedPkgs[pkg] {
+		return
+	}
+	if pkg == "sync" || strings.HasPrefix(pkg, "sync/") && pkg != "sync/atomic" {
+		pass.Reportf(call.Pos(), "hotpath func %s takes a lock: %s.%s (hot-path invariant: lock-free expansion)", name, pkg, callee.Name())
+		return
+	}
+	pass.Reportf(call.Pos(), "hotpath func %s calls un-annotated %s (hot-path invariant: every callee carries %s)", name, calleeLabel(callee), Directive)
+}
+
+func calleeLabel(f *types.Func) string {
+	if named := analysis.NamedReceiver(f); named != nil {
+		return named.Obj().Name() + "." + f.Name()
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Name() + "." + f.Name()
+	}
+	return f.Name()
+}

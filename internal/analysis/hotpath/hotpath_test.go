@@ -1,0 +1,18 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "hot")
+}
+
+// TestCrossPackageFacts proves the annotation travels as a fact: hotuser
+// may call hotcore.Inc (annotated) but not hotcore.Plain.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "hotcore", "hotuser")
+}

@@ -1,0 +1,116 @@
+package hot
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var mu sync.Mutex
+
+//icpp98:hotpath
+func ok(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+//icpp98:hotpath
+func callsOK(xs []int) int { return ok(xs) }
+
+//icpp98:hotpath
+func atomicOK(p *int64) { atomic.AddInt64(p, 1) }
+
+//icpp98:hotpath
+func appendOK(dst []int, x int) []int { return append(dst, x) }
+
+//icpp98:hotpath
+func alloc(n int) []int {
+	return make([]int, n) // want `allocates: make`
+}
+
+//icpp98:hotpath
+func newAlloc() *int {
+	return new(int) // want `allocates: new`
+}
+
+//icpp98:hotpath
+func sliceLit() []int {
+	return []int{1, 2, 3} // want `allocates: slice literal`
+}
+
+//icpp98:hotpath
+func escaping() *point {
+	return &point{1, 2} // want `allocates: &composite literal`
+}
+
+type point struct{ x, y int }
+
+//icpp98:hotpath
+func mapIndex(m map[string]int) int {
+	return m["k"] // want `indexes a map`
+}
+
+//icpp98:hotpath
+func mapRange(m map[string]int) int {
+	n := 0
+	for _, v := range m { // want `ranges over a map`
+		n += v
+	}
+	return n
+}
+
+//icpp98:hotpath
+func locks() {
+	mu.Lock() // want `takes a lock`
+	n := 1
+	_ = n
+	mu.Unlock() // want `takes a lock`
+}
+
+//icpp98:hotpath
+func deferred(f *point) {
+	defer reset(f) // want `uses defer` `calls un-annotated`
+}
+
+func reset(f *point) { f.x = 0 }
+
+//icpp98:hotpath
+func callsHelper() {
+	reset(nil) // want `calls un-annotated`
+}
+
+//icpp98:hotpath
+func closure() func() {
+	return func() {} // want `closure literal`
+}
+
+//icpp98:hotpath
+func toIface(x int) any {
+	return any(x) // want `converts to an interface`
+}
+
+//icpp98:hotpath
+func spawns() {
+	go ok(nil) // want `spawns a goroutine`
+}
+
+//icpp98:hotpath
+func suppressed() {
+	reset(nil) //icpp98:allow hotpath one-time warmup, measured alloc-free in BenchmarkExpandSteadyState
+}
+
+//icpp98:hotpath
+func badSuppress() {
+	//icpp98:allow hotpath
+	reset(nil) // want `calls un-annotated`
+}
+
+type tracer interface{ hit(int) }
+
+//icpp98:hotpath
+func dynamicCalls(t tracer, emit func(int)) {
+	t.hit(1) // interface dispatch: exempt by design
+	emit(2)  // func value: exempt by design
+}

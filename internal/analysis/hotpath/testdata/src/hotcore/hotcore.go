@@ -1,0 +1,9 @@
+package hotcore
+
+// Inc is hot-path safe; the fact travels with the package.
+//
+//icpp98:hotpath
+func Inc(x int) int { return x + 1 }
+
+// Plain carries no annotation; hot-path callers must not use it.
+func Plain() {}

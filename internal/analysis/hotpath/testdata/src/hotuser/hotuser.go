@@ -1,0 +1,11 @@
+package hotuser
+
+import "hotcore"
+
+//icpp98:hotpath
+func usesInc(x int) int { return hotcore.Inc(x) }
+
+//icpp98:hotpath
+func usesPlain() {
+	hotcore.Plain() // want `calls un-annotated`
+}

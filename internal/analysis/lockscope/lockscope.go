@@ -1,0 +1,524 @@
+// Package lockscope keeps blocking work out of the repo's critical
+// sections. The serving tier's store mutex, the coordinator's lease
+// table, and SharedVisited's shards sit on every request or expansion
+// path; a channel op or a network/disk call made while one of them is
+// held turns a microsecond critical section into an unbounded one and
+// invites lock-convoy collapse under load (the exact failure mode the
+// serve-load benchmark exists to catch).
+//
+// Mutex fields opt in with a `//icpp98:lockscope` comment. Between a
+// Lock/RLock on an annotated mutex and the matching Unlock (or function
+// end, for deferred unlocks) the analyzer forbids channel operations,
+// select, and calls into blocking stdlib surface (net, net/http, os
+// file I/O, os/exec, syscall, time.Sleep, io.Copy/ReadAll, WaitGroup.Wait,
+// Cond.Wait) as well as module functions it has proven may block.
+//
+// The file store's WAL append is the one sanctioned exception: fsync
+// under the store mutex IS the durability contract, and the site carries
+// an //icpp98:allow comment saying so.
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Directive marks a mutex struct field whose critical sections must not
+// block.
+const Directive = "//icpp98:lockscope"
+
+// MutexFact marks an annotated mutex field for cross-package lock sites.
+type MutexFact struct{}
+
+func (*MutexFact) AFact() {}
+
+// BlocksFact marks a function that may block (transitively performs a
+// channel operation or calls blocking stdlib surface).
+type BlocksFact struct{}
+
+func (*BlocksFact) AFact() {}
+
+// Analyzer is the critical-section checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc: `forbid blocking operations while holding an annotated mutex
+
+Fields annotated //icpp98:lockscope are hot mutexes: between Lock and
+Unlock no channel operation, select, blocking stdlib call, or call to a
+function that may block is allowed.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	annotated := collectMutexes(pass)
+	blocks := blockingFuncs(pass)
+	for fn := range blocks {
+		pass.ExportObjectFact(fn, &BlocksFact{})
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, annotated: annotated, blocks: blocks}
+			c.walkBody(fd.Body, held{})
+		}
+	}
+	return nil
+}
+
+// collectMutexes finds struct fields of a sync mutex type annotated with
+// the lockscope directive, in doc comments or trailing line comments.
+func collectMutexes(pass *analysis.Pass) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !analysis.CommentHasDirective(field.Doc, Directive) &&
+					!analysis.CommentHasDirective(field.Comment, Directive) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = true
+						pass.ExportObjectFact(v, &MutexFact{})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// held is the set of annotated mutexes currently locked, keyed by field
+// object; the value is the position of the Lock call, for diagnostics.
+type held map[*types.Var]token.Pos
+
+func (h held) clone() held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	annotated map[*types.Var]bool
+	blocks    map[*types.Func]bool
+}
+
+// mutexOf resolves a Lock/Unlock receiver expression (s.mu) to an
+// annotated mutex field, local or imported.
+func (c *checker) mutexOf(recv ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(recv).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fld := analysis.FieldObject(c.pass.TypesInfo, sel)
+	if fld == nil {
+		return nil
+	}
+	if c.annotated[fld] {
+		return fld
+	}
+	if fld.Pkg() != nil && fld.Pkg() != c.pass.Pkg {
+		var fact MutexFact
+		if c.pass.ImportObjectFact(fld, &fact) {
+			return fld
+		}
+	}
+	return nil
+}
+
+// lockOp classifies a call as Lock/Unlock on an annotated mutex.
+func (c *checker) lockOp(call *ast.CallExpr) (fld *types.Var, lock, unlock bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		lock = true
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return nil, false, false
+	}
+	fld = c.mutexOf(sel.X)
+	if fld == nil {
+		return nil, false, false
+	}
+	return fld, lock, unlock
+}
+
+// walkBody threads the held set through a statement list. Control-flow
+// bodies are walked with a copy: a Lock inside a branch is assumed
+// released by the branch, and an Unlock inside a branch does not clear
+// the outer hold. This is exact for the straight-line Lock/defer-Unlock
+// and Lock/.../Unlock shapes the repo uses.
+func (c *checker) walkBody(b *ast.BlockStmt, h held) {
+	for _, s := range b.List {
+		c.walkStmt(s, h)
+	}
+}
+
+func (c *checker) walkStmt(s ast.Stmt, h held) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.walkBody(s, h)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if fld, lock, unlock := c.lockOp(call); fld != nil {
+				if lock {
+					h[fld] = call.Pos()
+				} else if unlock {
+					delete(h, fld)
+				}
+				return
+			}
+		}
+		c.checkExpr(s.X, h)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the mutex held to function end; any
+		// later blocking op is still inside the critical section, so the
+		// held set is intentionally not cleared. Other deferred calls run
+		// outside the section (at return, usually after the unlock).
+		if fld, _, unlock := c.lockOp(s.Call); fld != nil && unlock {
+			return
+		}
+	case *ast.GoStmt:
+		// A spawned goroutine does not inherit the section; its body is
+		// walked separately with an empty held set.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.walkBody(lit.Body, held{})
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, h)
+		}
+		c.checkExpr(s.Cond, h)
+		c.walkBody(s.Body, h.clone())
+		if s.Else != nil {
+			c.walkStmt(s.Else, h.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, h)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, h)
+		}
+		c.walkBody(s.Body, h.clone())
+	case *ast.RangeStmt:
+		if len(h) > 0 {
+			if tv, ok := c.pass.TypesInfo.Types[s.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					c.reportHeld(s.Pos(), h, "receives from a channel (range)")
+				}
+			}
+		}
+		c.checkExpr(s.X, h)
+		c.walkBody(s.Body, h.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, h)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, h)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, st := range cl.Body {
+					c.walkStmt(st, h.clone())
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, st := range cl.Body {
+					c.walkStmt(st, h.clone())
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		if len(h) > 0 && !hasDefault(s) {
+			c.reportHeld(s.Pos(), h, "blocks on select")
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				for _, st := range cl.Body {
+					c.walkStmt(st, h.clone())
+				}
+			}
+		}
+	case *ast.SendStmt:
+		if len(h) > 0 {
+			c.reportHeld(s.Pos(), h, "sends on a channel")
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.checkExpr(e, h)
+		}
+		for _, e := range s.Lhs {
+			c.checkExpr(e, h)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkExpr(e, h)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						c.checkExpr(e, h)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, h)
+	case *ast.IncDecStmt:
+		c.checkExpr(s.X, h)
+	}
+}
+
+// checkExpr flags blocking operations inside one expression while h is
+// non-empty. Function literals are skipped: they run when called, not
+// here.
+func (c *checker) checkExpr(e ast.Expr, h held) {
+	if len(h) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.reportHeld(n.Pos(), h, "receives from a channel")
+			}
+		case *ast.CallExpr:
+			c.checkCall(n, h)
+		}
+		return true
+	})
+}
+
+func (c *checker) checkCall(call *ast.CallExpr, h held) {
+	info := c.pass.TypesInfo
+	callee := analysis.Callee(info, call)
+	if callee == nil {
+		return // dynamic call: not resolvable, exempt by design
+	}
+	if why := blockingStdlib(callee); why != "" {
+		c.reportHeld(call.Pos(), h, why)
+		return
+	}
+	if c.blocks[callee] {
+		c.reportHeld(call.Pos(), h, "calls "+callee.Name()+", which may block")
+		return
+	}
+	if callee.Pkg() != nil && callee.Pkg() != c.pass.Pkg {
+		var fact BlocksFact
+		if c.pass.ImportObjectFact(callee, &fact) {
+			c.reportHeld(call.Pos(), h, "calls "+callee.Pkg().Name()+"."+callee.Name()+", which may block")
+		}
+	}
+}
+
+func (c *checker) reportHeld(pos token.Pos, h held, what string) {
+	// Name one held mutex deterministically (the lexically first field).
+	var fld *types.Var
+	for v := range h {
+		if fld == nil || v.Name() < fld.Name() || (v.Name() == fld.Name() && analysis.ObjectPath(v) < analysis.ObjectPath(fld)) {
+			fld = v
+		}
+	}
+	label := "a lockscope mutex"
+	if fld != nil {
+		label = analysis.ObjectPath(fld)
+	}
+	c.pass.Reportf(pos, "%s while holding %s (lockscope invariant: critical sections must not block)", what, label)
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, cc := range s.Body.List {
+		if cl, ok := cc.(*ast.CommClause); ok && cl.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// osFileMethods are the *os.File methods that hit the disk.
+var osFileMethods = map[string]bool{
+	"Read": true, "ReadAt": true, "ReadFrom": true, "Write": true,
+	"WriteAt": true, "WriteString": true, "WriteTo": true, "Sync": true,
+	"Close": true, "Seek": true, "Truncate": true,
+}
+
+// osFileFuncs are package-level os functions that hit the disk.
+var osFileFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "Remove": true, "RemoveAll": true,
+	"Rename": true, "Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"ReadDir": true, "Stat": true, "Lstat": true, "Truncate": true,
+	"Symlink": true, "Link": true, "Chmod": true, "Chtimes": true,
+}
+
+var ioBlocking = map[string]bool{
+	"Copy": true, "CopyN": true, "CopyBuffer": true, "ReadAll": true,
+	"ReadFull": true, "WriteString": true,
+}
+
+// blockingStdlib classifies a stdlib callee as blocking, returning a
+// human-readable reason or "".
+func blockingStdlib(f *types.Func) string {
+	pkg := analysis.PkgPathOf(f)
+	name := f.Name()
+	switch {
+	case pkg == "time" && name == "Sleep":
+		return "sleeps (time.Sleep)"
+	case pkg == "net" || strings.HasPrefix(pkg, "net/"):
+		return "performs network I/O (" + pkg + "." + name + ")"
+	case pkg == "os/exec":
+		return "runs a subprocess (os/exec." + name + ")"
+	case pkg == "syscall" && name != "Getpid" && name != "Getuid" && name != "Getgid":
+		return "makes a raw syscall (syscall." + name + ")"
+	case pkg == "os":
+		if recv := analysis.NamedReceiver(f); recv != nil {
+			if recv.Obj().Name() == "File" && osFileMethods[name] {
+				return "performs file I/O (os.File." + name + ")"
+			}
+			return ""
+		}
+		if osFileFuncs[name] {
+			return "performs file I/O (os." + name + ")"
+		}
+	case pkg == "io" && ioBlocking[name]:
+		return "performs I/O (io." + name + ")"
+	case pkg == "sync":
+		if recv := analysis.NamedReceiver(f); recv != nil && name == "Wait" {
+			return "waits on sync." + recv.Obj().Name()
+		}
+	}
+	return ""
+}
+
+// blockingFuncs computes, by fixpoint over this package's call graph,
+// the set of functions that may block: a channel op, select without
+// default, blocking stdlib call, imported BlocksFact callee, or a call
+// to another local blocking function.
+func blockingFuncs(pass *analysis.Pass) map[*types.Func]bool {
+	type fnDecl struct {
+		obj  *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []fnDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls = append(decls, fnDecl{obj.Origin(), fd.Body})
+			}
+		}
+	}
+	blocks := map[*types.Func]bool{}
+	primitive := func(body *ast.BlockStmt) bool {
+		found := false
+		// An op under an //icpp98:allow lockscope comment is sanctioned as
+		// non-blocking (e.g. a send on a buffered channel guarded against
+		// a second delivery) and must not classify its callers as blocking.
+		mark := func(pos token.Pos) {
+			if !pass.Allowed(pos) {
+				found = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.SendStmt:
+				mark(n.Pos())
+			case *ast.SelectStmt:
+				if !hasDefault(n) {
+					mark(n.Pos())
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					mark(n.Pos())
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						mark(n.Pos())
+					}
+				}
+			case *ast.CallExpr:
+				callee := analysis.Callee(pass.TypesInfo, n)
+				if callee == nil {
+					return true
+				}
+				if blockingStdlib(callee) != "" {
+					mark(n.Pos())
+				} else if callee.Pkg() != nil && callee.Pkg() != pass.Pkg {
+					var fact BlocksFact
+					if pass.ImportObjectFact(callee, &fact) {
+						mark(n.Pos())
+					}
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	for _, d := range decls {
+		if primitive(d.body) {
+			blocks[d.obj] = true
+		}
+	}
+	// Propagate through local calls until stable.
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if blocks[d.obj] {
+				continue
+			}
+			ast.Inspect(d.body, func(n ast.Node) bool {
+				if blocks[d.obj] {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.FuncLit, *ast.GoStmt:
+					return false
+				case *ast.CallExpr:
+					if callee := analysis.Callee(pass.TypesInfo, n); callee != nil && blocks[callee] {
+						blocks[d.obj] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return blocks
+}

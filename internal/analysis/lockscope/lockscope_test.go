@@ -1,0 +1,19 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockscope"
+)
+
+func TestLockscope(t *testing.T) {
+	analysistest.Run(t, "testdata", lockscope.Analyzer, "ls")
+}
+
+// TestCrossPackageBlocksFact proves may-block classification travels as
+// a fact: lsb must not call lsa.Block under its annotated mutex, while
+// lsa.Pure is fine.
+func TestCrossPackageBlocksFact(t *testing.T) {
+	analysistest.Run(t, "testdata", lockscope.Analyzer, "lsa", "lsb")
+}

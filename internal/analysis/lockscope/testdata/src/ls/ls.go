@@ -1,0 +1,135 @@
+package ls
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu sync.Mutex //icpp98:lockscope
+	ch chan int
+	f  *os.File
+}
+
+// other's mutex is not annotated: its critical sections are unchecked.
+type other struct {
+	mu sync.Mutex
+}
+
+func (s *store) straightLine() {
+	s.mu.Lock()
+	n := 1
+	_ = n
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // after the unlock: fine
+}
+
+func (s *store) deferSleep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `sleeps`
+}
+
+func (s *store) send() {
+	s.mu.Lock()
+	s.ch <- 1 // want `sends on a channel`
+	s.mu.Unlock()
+}
+
+func (s *store) recv() {
+	s.mu.Lock()
+	<-s.ch // want `receives from a channel`
+	s.mu.Unlock()
+}
+
+func (s *store) fileIO() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.Sync() // want `file I/O`
+}
+
+func slow() { time.Sleep(time.Second) }
+
+func (s *store) callsSlow() {
+	s.mu.Lock()
+	slow() // want `may block`
+	s.mu.Unlock()
+}
+
+func indirect() { slow() }
+
+func (s *store) callsIndirect() {
+	s.mu.Lock()
+	indirect() // want `may block`
+	s.mu.Unlock()
+}
+
+func (s *store) wal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.Sync() //icpp98:allow lockscope fsync under the store mutex IS the durability contract (fileStore WAL)
+}
+
+func (s *store) spawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Second) // a new goroutine does not hold the lock
+	}()
+}
+
+func (s *store) selectNoDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocks on select`
+	case <-s.ch:
+	}
+}
+
+func (s *store) selectWithDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+func (o *other) unannotated() {
+	o.mu.Lock()
+	time.Sleep(time.Second) // not annotated: no finding
+	o.mu.Unlock()
+}
+
+func (s *store) rangeChan() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want `range`
+		_ = v
+	}
+}
+
+type queue struct {
+	mu   sync.Mutex //icpp98:lockscope
+	done chan int
+}
+
+// deliver's send is sanctioned (buffered, at-most-once), so deliver is
+// not classified as may-block and resolve stays clean.
+func (q *queue) deliver(v int) {
+	q.done <- v //icpp98:allow lockscope buffered(1), delivered at most once: never blocks
+}
+
+func (q *queue) resolve() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.deliver(1)
+}
+
+func (s *store) wgWait(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `waits on sync.WaitGroup`
+}

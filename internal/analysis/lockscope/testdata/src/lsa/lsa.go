@@ -1,0 +1,9 @@
+package lsa
+
+import "time"
+
+// Block sleeps; the lockscope BlocksFact travels with the package.
+func Block() { time.Sleep(time.Second) }
+
+// Pure does not block.
+func Pure(x int) int { return x * 2 }

@@ -1,0 +1,23 @@
+package lsb
+
+import (
+	"sync"
+
+	"lsa"
+)
+
+type guard struct {
+	mu sync.Mutex //icpp98:lockscope
+}
+
+func (g *guard) callsImportedBlocker() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	lsa.Block() // want `may block`
+}
+
+func (g *guard) callsImportedPure() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_ = lsa.Pure(2)
+}

@@ -1,0 +1,193 @@
+// Package slogfields keeps the structured log actually structured. The
+// obs tier's end-to-end job tracing (PR 8) joins records on constant
+// snake_case keys — above all trace_id — so a misaligned key/value list
+// (slog silently logs !BADKEY), a computed key, or a job-lifecycle
+// record missing trace_id each break the join a human only notices when
+// the trace they need is the one that's missing.
+package slogfields
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the slog call-site checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "slogfields",
+	Doc: `enforce well-formed slog key/value lists and trace_id on job records
+
+slog variadic tails must be slog.Attr values or constant snake_case
+string keys each followed by a value; and any record keyed "job" (a
+job-lifecycle record) must also carry "trace_id" so the obs tier can
+join it into the job trace. Calls spreading a precomputed []any
+(attrs...) are exempt: the analyzer cannot see the elements.`,
+	Run: run,
+}
+
+// tailStart maps a slog entry point to the index of its first key/value
+// argument. Package functions and *slog.Logger methods share names, but
+// Log's fixed arguments differ, so method-ness matters.
+func tailStart(callee *types.Func) (int, bool) {
+	isMethod := analysis.NamedReceiver(callee) != nil
+	switch callee.Name() {
+	case "Debug", "Info", "Warn", "Error":
+		return 1, true // (msg, args...)
+	case "DebugContext", "InfoContext", "WarnContext", "ErrorContext":
+		return 2, true // (ctx, msg, args...)
+	case "Log":
+		return 3, true // (ctx, level, msg, args...)
+	case "Group":
+		if !isMethod {
+			return 1, true // (key, args...)
+		}
+	case "With":
+		if isMethod {
+			return 0, true // (args...)
+		}
+	}
+	return 0, false
+}
+
+// attrConstructors are the slog.Attr helpers whose first argument is the
+// key; their keys participate in the trace_id check.
+var attrConstructors = map[string]bool{
+	"String": true, "Int": true, "Int64": true, "Uint64": true,
+	"Float64": true, "Bool": true, "Time": true, "Duration": true,
+	"Any": true, "Group": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(pass.TypesInfo, call)
+			if callee == nil || analysis.PkgPathOf(callee) != "log/slog" {
+				return true
+			}
+			start, ok := tailStart(callee)
+			if !ok || start > len(call.Args) {
+				return true
+			}
+			if call.Ellipsis.IsValid() {
+				return true // attrs... spread: elements not visible statically
+			}
+			checkTail(pass, callee.Name(), call, call.Args[start:])
+			return true
+		})
+	}
+	return nil
+}
+
+func checkTail(pass *analysis.Pass, fn string, call *ast.CallExpr, tail []ast.Expr) {
+	info := pass.TypesInfo
+	keys := map[string]bool{}
+	sawDynamic := false
+	for i := 0; i < len(tail); {
+		arg := tail[i]
+		if isAttr(info, arg) {
+			if key, ok := attrKey(info, arg); ok {
+				keys[key] = true
+				checkKeyShape(pass, fn, arg, key)
+			} else {
+				sawDynamic = true
+			}
+			i++
+			continue
+		}
+		key, isConst := analysis.ConstStringValue(info, arg)
+		if !isConst {
+			sawDynamic = true
+			if isString(info, arg) {
+				pass.Reportf(arg.Pos(),
+					"slog.%s key is not a constant string; computed keys defeat log joins (use a const key or slog.Attr)", fn)
+				i += 2 // a string key still consumes its value
+			} else {
+				pass.Reportf(arg.Pos(),
+					"slog.%s argument is neither a slog.Attr nor a string key; slog will log it as !BADKEY", fn)
+				i++
+			}
+			continue
+		}
+		checkKeyShape(pass, fn, arg, key)
+		keys[key] = true
+		if i+1 >= len(tail) {
+			pass.Reportf(arg.Pos(),
+				"slog.%s key %q has no value: odd key/value count (slog logs !BADKEY)", fn, key)
+			return
+		}
+		i += 2
+	}
+	// Job-lifecycle records join into the per-job trace; without
+	// trace_id the record is orphaned. Only assert when every key was
+	// statically visible.
+	if keys["job"] && !keys["trace_id"] && !sawDynamic {
+		pass.Reportf(call.Pos(),
+			"slog.%s logs a job-lifecycle record (key \"job\") without \"trace_id\"; the obs trace for this job will have a hole", fn)
+	}
+}
+
+func isAttr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	n, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Attr" && obj.Pkg() != nil && obj.Pkg().Path() == "log/slog"
+}
+
+// attrKey extracts the constant key of a slog.String(...)-style
+// constructor call, when the Attr is built inline.
+func attrKey(info *types.Info, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	callee := analysis.Callee(info, call)
+	if callee == nil || analysis.PkgPathOf(callee) != "log/slog" || !attrConstructors[callee.Name()] {
+		return "", false
+	}
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	return analysis.ConstStringValue(info, call.Args[0])
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func checkKeyShape(pass *analysis.Pass, fn string, at ast.Expr, key string) {
+	if snakeCase(key) {
+		return
+	}
+	pass.Reportf(at.Pos(), "slog.%s key %q is not lowercase snake_case; log keys must join across records", fn, key)
+}
+
+func snakeCase(k string) bool {
+	if k == "" {
+		return false
+	}
+	for i, r := range k {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case (r == '_' || r >= '0' && r <= '9') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}

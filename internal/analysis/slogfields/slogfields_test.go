@@ -1,0 +1,12 @@
+package slogfields_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/slogfields"
+)
+
+func TestSlogFields(t *testing.T) {
+	analysistest.Run(t, "testdata", slogfields.Analyzer, "sf")
+}

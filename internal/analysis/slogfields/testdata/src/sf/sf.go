@@ -1,0 +1,70 @@
+package sf
+
+import (
+	"context"
+	"log/slog"
+)
+
+func ok(id, trace string) {
+	slog.Info("job admitted", "job", id, "trace_id", trace)
+}
+
+func okAttrs(id, trace string) {
+	slog.Info("job done", slog.String("job", id), slog.String("trace_id", trace))
+}
+
+func plainRecord(addr string) {
+	slog.Info("listening", "addr", addr) // no job key: no trace_id needed
+}
+
+func missingTrace(id string) {
+	slog.Info("job admitted", "job", id) // want `without "trace_id"`
+}
+
+func missingTraceAttr(id string) {
+	slog.Warn("job stalled", slog.String("job", id)) // want `without "trace_id"`
+}
+
+func missingTraceCtx(ctx context.Context, id string) {
+	slog.InfoContext(ctx, "job start", "job", id) // want `without "trace_id"`
+}
+
+func missingTraceLogger(l *slog.Logger, id string, err error) {
+	l.Error("final report failed", "job", id, "error", err.Error()) // want `without "trace_id"`
+}
+
+func loggerOK(l *slog.Logger, id, trace string) {
+	l.Info("job done", "job", id, "trace_id", trace)
+}
+
+func oddArgs() {
+	slog.Warn("bad", "job") // want `has no value`
+}
+
+func computedKey(k, v string) {
+	slog.Info("msg", k, v) // want `not a constant string`
+}
+
+func nonStringKey(x int) {
+	slog.Info("msg", x) // want `BADKEY`
+}
+
+func badKeyCase(v string) {
+	slog.Info("msg", "JobID", v) // want `not lowercase snake_case`
+}
+
+func spread(args []any) {
+	slog.Info("msg", args...) // precomputed attrs: exempt
+}
+
+func withOK(l *slog.Logger, trace string) *slog.Logger {
+	return l.With("trace_id", trace)
+}
+
+func withBad(l *slog.Logger, k, v string) *slog.Logger {
+	return l.With(k, v) // want `not a constant string`
+}
+
+func suppressed(key, v string) {
+	slog.Info("msg", key, v) //icpp98:allow slogfields key is compile-time table-driven, joined downstream by position
+}

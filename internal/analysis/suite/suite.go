@@ -1,0 +1,24 @@
+// Package suite is the single registry of icpp98lint analyzers, shared
+// by the cmd/icpp98lint front end and the tests so the binary and the
+// test matrix cannot drift apart.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/lockscope"
+	"repro/internal/analysis/slogfields"
+	"repro/internal/analysis/wirejson"
+)
+
+// Analyzers returns the full icpp98lint suite in fixed order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicfield.Analyzer,
+		hotpath.Analyzer,
+		lockscope.Analyzer,
+		slogfields.Analyzer,
+		wirejson.Analyzer,
+	}
+}

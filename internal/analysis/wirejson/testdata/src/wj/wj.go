@@ -1,0 +1,85 @@
+package wj
+
+import "encoding/json"
+
+// Wire qualifies through its existing json tags.
+type Wire struct {
+	ID        string `json:"id"`
+	Elapsed   int64  `json:"elapsed_ms,omitempty"`
+	CreatedAt string // want `has no json tag`
+	BadCase   string `json:"BadCase"`    // want `lowercase snake_case`
+	CamelTag  string `json:"camelCase"`  // want `lowercase snake_case`
+	KebabTag  string `json:"kebab-tag"`  // want `lowercase snake_case`
+	Empty     string `json:",omitempty"` // want `json tag with no name`
+	Skipped   string `json:"-"`
+	unexp     string
+}
+
+// NotWire has no tags and is never marshaled: internal struct, exempt.
+type NotWire struct {
+	Name string
+}
+
+// Marshaled qualifies through the json.Marshal call below.
+type Marshaled struct {
+	Field string // want `has no json tag`
+}
+
+// Decoded qualifies through the Decoder.Decode call below.
+type Decoded struct {
+	Val string // want `has no json tag`
+}
+
+// Listed qualifies through the slice passed to json.Marshal below.
+type Listed struct {
+	Item string // want `has no json tag`
+}
+
+type base struct {
+	Common string `json:"common"`
+}
+
+// Derived embeds base: the embedded field inlines and needs no tag.
+type Derived struct {
+	base
+	Extra string `json:"extra"`
+}
+
+// Legacy keeps a deliberately Go-cased name for a grandfathered client.
+type Legacy struct {
+	ID     string `json:"id"`
+	OldFmt string `json:"OldFmt"` //icpp98:allow wirejson v0 clients parse the 1998-era casing; renamed in v2
+}
+
+// External mirrors a schema some other program produces; its casing is
+// not ours to choose, so the whole declaration opts out.
+//
+//icpp98:allow wirejson mirrors cmd/go's PascalCase list output
+type External struct {
+	ImportPath string
+	GoFiles    []string
+}
+
+func readExternal(data []byte) (*External, error) {
+	var e External
+	err := json.Unmarshal(data, &e)
+	return &e, err
+}
+
+func use(d *json.Decoder) error {
+	var m Marshaled
+	if _, err := json.Marshal(&m); err != nil {
+		return err
+	}
+	var xs []Listed
+	if _, err := json.Marshal(xs); err != nil {
+		return err
+	}
+	var v Decoded
+	return d.Decode(&v)
+}
+
+func touch(w Wire, n NotWire, dv Derived, l Legacy) {
+	_, _, _, _ = w, n, dv, l
+	_ = w.unexp
+}

@@ -1,0 +1,209 @@
+// Package wirejson pins the serving tier's wire format. PR 2 shipped a
+// bug where an untagged exported field leaked Go-cased JSON
+// ("SubmittedAt") into the HTTP API next to its snake_case siblings;
+// clients written against the documented schema silently read zero
+// values. This analyzer makes the convention mechanical: in a wire
+// struct — one that already carries a json tag, or one this package
+// passes to encoding/json — every exported field must have an explicit
+// json tag and its name must be lowercase snake_case (or "-").
+package wirejson
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the wire-struct json-tag checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirejson",
+	Doc: `require explicit snake_case json tags on wire structs
+
+A struct is a wire struct if any of its fields carries a json tag or if
+the package passes it to encoding/json (Marshal, Unmarshal, Encode,
+Decode). Every exported named field of a wire struct must have an
+explicit json tag whose name is "-" or lowercase snake_case. Embedded
+fields are exempt (they inline).`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Wire structs discovered through encoding/json call sites.
+	marshaled := map[*types.Named]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			pkg, name := analysis.PkgPathOf(callee), callee.Name()
+			if pkg != "encoding/json" {
+				return true
+			}
+			var arg ast.Expr
+			switch name {
+			case "Marshal", "MarshalIndent", "Encode":
+				if len(call.Args) > 0 {
+					arg = call.Args[0]
+				}
+			case "Unmarshal":
+				if len(call.Args) > 1 {
+					arg = call.Args[1]
+				}
+			case "Decode":
+				if len(call.Args) > 0 {
+					arg = call.Args[0]
+				}
+			}
+			if arg == nil {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[arg]; ok {
+				markNamed(tv.Type, marshaled)
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				// A struct whose shape mirrors an external producer's
+				// schema (cmd/go's vet.cfg, a third-party API) opts out
+				// as a whole with an allow directive on its declaration.
+				if analysis.CommentAllows(gd.Doc, "wirejson") ||
+					analysis.CommentAllows(ts.Doc, "wirejson") ||
+					analysis.CommentAllows(ts.Comment, "wirejson") {
+					continue
+				}
+				named, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !isWireStruct(st, named, marshaled) {
+					continue
+				}
+				checkStruct(pass, ts.Name.Name, st)
+			}
+		}
+	}
+	return nil
+}
+
+// markNamed records the named struct type(s) behind t: through pointers,
+// slices, and maps, so json.Marshal(&resp), ([]Item), (map[string]Job)
+// all qualify their element structs.
+func markNamed(t types.Type, out map[*types.Named]bool) {
+	for range 10 { // bounded unwrap; wire types are shallow
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Named:
+			if _, ok := u.Underlying().(*types.Struct); ok {
+				out[u] = true
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+func isWireStruct(st *ast.StructType, named *types.TypeName, marshaled map[*types.Named]bool) bool {
+	if named != nil {
+		if n, ok := named.Type().(*types.Named); ok && marshaled[n] {
+			return true
+		}
+	}
+	for _, f := range st.Fields.List {
+		if _, ok := jsonTag(f); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func jsonTag(f *ast.Field) (string, bool) {
+	if f.Tag == nil {
+		return "", false
+	}
+	raw := strings.Trim(f.Tag.Value, "`")
+	return reflect.StructTag(raw).Lookup("json")
+}
+
+var snakeCase = func(name string) bool {
+	if name == "-" {
+		return true
+	}
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r == '_' && i > 0:
+		case r >= '0' && r <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func checkStruct(pass *analysis.Pass, typeName string, st *ast.StructType) {
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 {
+			continue // embedded field: inlined by encoding/json
+		}
+		tag, ok := jsonTag(f)
+		for _, name := range f.Names {
+			if !name.IsExported() {
+				continue
+			}
+			if !ok {
+				pass.Reportf(name.Pos(),
+					"wire struct %s: exported field %s has no json tag; it will marshal as %q (wire invariant: explicit snake_case tags)",
+					typeName, name.Name, name.Name)
+				continue
+			}
+			jsonName := tag
+			if i := strings.Index(tag, ","); i >= 0 {
+				jsonName = tag[:i]
+			}
+			if jsonName == "" {
+				pass.Reportf(name.Pos(),
+					"wire struct %s: field %s has a json tag with no name; it will marshal as %q (wire invariant: explicit snake_case tags)",
+					typeName, name.Name, name.Name)
+				continue
+			}
+			if !snakeCase(jsonName) {
+				pass.Reportf(name.Pos(),
+					"wire struct %s: field %s marshals as %q; wire names must be lowercase snake_case",
+					typeName, name.Name, jsonName)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package wirejson_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wirejson"
+)
+
+func TestWireJSON(t *testing.T) {
+	analysistest.Run(t, "testdata", wirejson.Analyzer, "wj")
+}

@@ -158,7 +158,7 @@ type Coordinator struct {
 	log *slog.Logger
 	mux *http.ServeMux
 
-	mu      sync.Mutex
+	mu      sync.Mutex //icpp98:lockscope guards the lease table on every poll/report
 	workers map[string]*workerState
 	tasks   map[string]*task // every unresolved dispatched job
 	pending []*task          // FIFO subset of tasks awaiting a lease
@@ -239,7 +239,7 @@ func (c *Coordinator) resolveLocked(t *task, out outcome) {
 			delete(w.leased, t.job.ID)
 		}
 	}
-	t.done <- out
+	t.done <- out //icpp98:allow lockscope buffered(1) and guarded by t.resolved: delivered at most once, the send can never block
 }
 
 // eligibleLocked reports whether any live worker may still run the task.

@@ -321,13 +321,13 @@ func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) 
 	g, err := taskgraph.FromJSON(lease.Graph)
 	if err != nil {
 		decode.End("outcome", "error")
-		w.finishJob(workerID, lease.ID, progress, rec, nil, fmt.Sprintf("decode graph: %v", err))
+		w.finishJob(workerID, lease.ID, lease.TraceID, progress, rec, nil, fmt.Sprintf("decode graph: %v", err))
 		return
 	}
 	sys, err := procgraph.FromJSON(lease.System)
 	if err != nil {
 		decode.End("outcome", "error")
-		w.finishJob(workerID, lease.ID, progress, rec, nil, fmt.Sprintf("decode system: %v", err))
+		w.finishJob(workerID, lease.ID, lease.TraceID, progress, rec, nil, fmt.Sprintf("decode system: %v", err))
 		return
 	}
 	decode.End("tasks", strconv.Itoa(g.NumNodes()))
@@ -417,7 +417,7 @@ func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) 
 		w.log.Info("job finished",
 			"job", lease.ID, "trace_id", lease.TraceID,
 			"attempt", lease.Attempt, "error", errMessage)
-		w.finishJob(workerID, lease.ID, progress, rec, res, errMessage)
+		w.finishJob(workerID, lease.ID, lease.TraceID, progress, rec, res, errMessage)
 	}
 }
 
@@ -444,7 +444,7 @@ func terminalReport(workerID string, prog *solverpool.Progress, rec *obs.Recorde
 
 // finishJob sends the terminal Done report. The coordinator may have
 // revoked the lease meanwhile (410) — then the outcome is simply dropped.
-func (w *Worker) finishJob(workerID, id string, prog *solverpool.Progress, rec *obs.Recorder, res *server.JobResult, errMessage string) {
+func (w *Worker) finishJob(workerID, id, traceID string, prog *solverpool.Progress, rec *obs.Recorder, res *server.JobResult, errMessage string) {
 	ctx, cancel := context.WithTimeout(context.Background(), terminalReportTimeout)
 	defer cancel()
 	req := terminalReport(workerID, prog, rec)
@@ -452,7 +452,7 @@ func (w *Worker) finishJob(workerID, id string, prog *solverpool.Progress, rec *
 	err := w.post(ctx, "/v1/workers/jobs/"+id+"/report", req, nil)
 	if err != nil && statusCode(err) != http.StatusGone {
 		w.logf("job %s: final report failed: %v", id, err)
-		w.log.Warn("final report failed", "job", id, "error", err.Error())
+		w.log.Warn("final report failed", "job", id, "trace_id", traceID, "error", err.Error())
 	}
 }
 

@@ -38,6 +38,8 @@ func NewArena() *Arena { return &Arena{} }
 // New returns a pointer to an uninitialized state slot; the caller must
 // assign every field (slots are reused by Release/Recycle and carry stale
 // contents).
+//
+//icpp98:hotpath
 func (a *Arena) New() *State {
 	if len(a.slabs) == 0 || a.used == arenaSlabSize {
 		if n := len(a.free); n > 0 {
@@ -45,7 +47,7 @@ func (a *Arena) New() *State {
 			a.free[n-1] = nil
 			a.free = a.free[:n-1]
 		} else {
-			a.slabs = append(a.slabs, make([]State, arenaSlabSize))
+			a.slabs = append(a.slabs, make([]State, arenaSlabSize)) //icpp98:allow hotpath one slab per 1024 states; amortized to ~0 allocs/op (BenchmarkExpandSteadyState)
 		}
 		a.used = 0
 	}
@@ -57,6 +59,8 @@ func (a *Arena) New() *State {
 // Recycle returns the most recently allocated state to the arena. Only the
 // state handed out by the last New call may be recycled; anything else is
 // ignored (the slot simply stays allocated until the arena is released).
+//
+//icpp98:hotpath
 func (a *Arena) Recycle(s *State) {
 	if n := len(a.slabs); n > 0 && a.used > 0 && s == &a.slabs[n-1][a.used-1] {
 		a.used--

@@ -296,6 +296,8 @@ func (m *Model) NewExpander(opt Options, stats *Stats) *Expander {
 func (e *Expander) Arena() *Arena { return e.arena }
 
 // load materializes s's partial schedule into the scratch arrays.
+//
+//icpp98:hotpath
 func (e *Expander) load(s *State) {
 	for i := range e.procOf {
 		e.procOf[i] = -1
@@ -326,6 +328,8 @@ func (e *Expander) load(s *State) {
 // Expand generates every non-pruned child of s. Children that pass the
 // visited test (when visited is non-nil) are handed to emit. It returns the
 // number of children emitted.
+//
+//icpp98:hotpath
 func (e *Expander) Expand(s *State, visited *Visited, emit func(*State)) int {
 	m := e.M
 	e.load(s)
@@ -459,6 +463,8 @@ func (e *Expander) Expand(s *State, visited *Visited, emit func(*State)) int {
 // (arXiv 2405.15371), so branching any other node first is redundant.
 // Data-ready time is the remote arrival finish(parent) + c(edge), which is
 // PE-independent on the classic systems ftoEligible admits.
+//
+//icpp98:hotpath
 func (e *Expander) ftoFirst() (int32, bool) {
 	m := e.M
 	sharedChild := int32(-1)
@@ -510,6 +516,8 @@ func (e *Expander) ftoFirst() (int32, bool) {
 // sl_min(u) — a lower bound on any schedule that still has to run u. Only
 // the two largest bounds (and the node owning the largest) are kept: a
 // child that schedules the witness node falls back to the runner-up.
+//
+//icpp98:hotpath
 func (e *Expander) prepCriticalPath() {
 	m := e.M
 	e.cpTop1, e.cpTop2, e.cpTop1N = 0, 0, -1
@@ -542,6 +550,8 @@ func (e *Expander) prepCriticalPath() {
 
 // expandNode generates the children that assign ready node n to each
 // admissible PE.
+//
+//icpp98:hotpath
 func (e *Expander) expandNode(s *State, n int32, visited *Visited, emit func(*State)) int {
 	m := e.M
 	emitted := 0
@@ -661,6 +671,8 @@ func (e *Expander) expandNode(s *State, n int32, visited *Visited, emit func(*St
 // contributes ft + sl_min(u) for each of its children, all of which are
 // necessarily unscheduled. The scan walks the expander's scratch list of
 // scheduled nodes, not the whole node set.
+//
+//icpp98:hotpath
 func (e *Expander) hPlus(s *State, n int32, ft, g, h int32) int32 {
 	m := e.M
 	if lb := m.staticLB - g; lb > h {

@@ -20,18 +20,26 @@ const MaxNodes = MaskWords * 64
 type Mask [MaskWords]uint64
 
 // Set sets bit n.
+//
+//icpp98:hotpath
 func (m *Mask) Set(n int32) { m[n>>6] |= 1 << uint(n&63) }
 
 // Has reports whether bit n is set.
+//
+//icpp98:hotpath
 func (m *Mask) Has(n int32) bool { return m[n>>6]&(1<<uint(n&63)) != 0 }
 
 // With returns a copy of m with bit n set.
+//
+//icpp98:hotpath
 func (m Mask) With(n int32) Mask {
 	m[n>>6] |= 1 << uint(n&63)
 	return m
 }
 
 // Count returns the number of set bits.
+//
+//icpp98:hotpath
 func (m Mask) Count() int {
 	c := 0
 	for _, w := range m {

@@ -79,6 +79,8 @@ func Root() *State { return &State{node: -1, proc: -1} }
 // ties prefer larger g (deeper, more complete partial schedules — the
 // standard A* tie-break that reaches goals sooner), then the signature for
 // determinism.
+//
+//icpp98:hotpath
 func Less(a, b *State) bool {
 	if a.f != b.f {
 		return a.f < b.f
@@ -96,6 +98,8 @@ func Less(a, b *State) bool {
 // secondary heuristic prefers the deepest states (most scheduled nodes),
 // driving the search toward complete schedules quickly; ties fall back to
 // smaller f.
+//
+//icpp98:hotpath
 func FocalLess(a, b *State) bool {
 	if a.depth != b.depth {
 		return a.depth > b.depth
@@ -108,6 +112,8 @@ func FocalLess(a, b *State) bool {
 
 // sigMix hashes one (node, proc, start) assignment; XOR-combining these per
 // assignment yields the order-independent state signature.
+//
+//icpp98:hotpath
 func sigMix(node, proc, start int32) uint64 {
 	x := uint64(uint32(node))*0x9E3779B97F4A7C15 ^
 		uint64(uint32(proc))*0xC2B2AE3D27D4EB4F ^
@@ -125,6 +131,8 @@ func sigMix(node, proc, start int32) uint64 {
 // really denote the same partial schedule, by exact comparison of their
 // (node, proc, start) sets. Quadratic in depth, but only runs on 64-bit
 // hash agreement.
+//
+//icpp98:hotpath
 func sameAssignment(a, b *State) bool {
 	if a.mask != b.mask || a.depth != b.depth || a.g != b.g {
 		return false
@@ -195,6 +203,8 @@ func NewVisited() *Visited {
 // comparison caught along the way. Keeping the identity comparison (sig,
 // mask, g, depth, then sameAssignment) in one place guarantees the serial
 // and concurrent engines can never disagree on what "duplicate" means.
+//
+//icpp98:hotpath
 func visInsert(entries []visEntry, s *State) (inserted bool, collisions int64) {
 	idx := int(s.sig) & (len(entries) - 1)
 	for {
@@ -214,8 +224,10 @@ func visInsert(entries []visEntry, s *State) (inserted bool, collisions int64) {
 }
 
 // visGrow returns a doubled table with every occupied entry reinserted.
+//
+//icpp98:hotpath
 func visGrow(old []visEntry) []visEntry {
-	grown := make([]visEntry, len(old)*2)
+	grown := make([]visEntry, len(old)*2) //icpp98:allow hotpath doubling growth; amortized O(1) per insert
 	for i := range old {
 		e := &old[i]
 		if e.st == nil {
@@ -232,6 +244,8 @@ func visGrow(old []visEntry) []visEntry {
 
 // Add inserts s unless an identical partial schedule is already present; it
 // reports whether s was new.
+//
+//icpp98:hotpath
 func (vt *Visited) Add(s *State) bool {
 	if vt.n*4 >= len(vt.entries)*3 {
 		vt.entries = visGrow(vt.entries)

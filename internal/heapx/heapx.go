@@ -22,9 +22,13 @@ func NewWithCapacity[T any](less func(a, b T) bool, capacity int) *Heap[T] {
 }
 
 // Len returns the number of elements.
+//
+//icpp98:hotpath
 func (h *Heap[T]) Len() int { return len(h.items) }
 
 // Push inserts an element.
+//
+//icpp98:hotpath
 func (h *Heap[T]) Push(x T) {
 	h.items = append(h.items, x)
 	h.up(len(h.items) - 1)
@@ -32,9 +36,13 @@ func (h *Heap[T]) Push(x T) {
 
 // Peek returns the minimum element without removing it. It panics on an
 // empty heap; check Len first.
+//
+//icpp98:hotpath
 func (h *Heap[T]) Peek() T { return h.items[0] }
 
 // Pop removes and returns the minimum element. It panics on an empty heap.
+//
+//icpp98:hotpath
 func (h *Heap[T]) Pop() T {
 	top := h.items[0]
 	last := len(h.items) - 1
@@ -70,6 +78,7 @@ func (h *Heap[T]) Drain() []T {
 // load-balancing scans. The caller must not reorder it.
 func (h *Heap[T]) Items() []T { return h.items }
 
+//icpp98:hotpath
 func (h *Heap[T]) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -81,6 +90,7 @@ func (h *Heap[T]) up(i int) {
 	}
 }
 
+//icpp98:hotpath
 func (h *Heap[T]) down(i int) {
 	n := len(h.items)
 	for {

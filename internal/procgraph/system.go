@@ -242,6 +242,8 @@ func (s *System) ExecCost(w int32, p int) int32 {
 
 // CommCost returns the time to move a message of edge cost c from PE i to
 // PE j under the system's link model; zero when i == j.
+//
+//icpp98:hotpath
 func (s *System) CommCost(c int32, i, j int) int32 {
 	if i == j {
 		return 0

@@ -412,9 +412,9 @@ func (fs *fileStore) compactLocked() error {
 func (fs *fileStore) close() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	err := fs.compactLocked()
+	err := fs.compactLocked() //icpp98:allow lockscope final compaction under the store mutex IS the shutdown durability contract (WAL design)
 	if fs.wal != nil {
-		if cerr := fs.wal.Close(); err == nil {
+		if cerr := fs.wal.Close(); err == nil { //icpp98:allow lockscope releases the WAL file inside the same sanctioned shutdown section
 			err = cerr
 		}
 		fs.wal = nil

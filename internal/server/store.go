@@ -133,7 +133,7 @@ const (
 // evicted — a full store of purely active jobs rejects new submissions,
 // which is the backpressure a bounded service wants.
 type memStore struct {
-	mu   sync.Mutex
+	mu   sync.Mutex //icpp98:lockscope every request path crosses this store
 	jobs map[string]*job
 	cap  int
 	ttl  time.Duration

@@ -72,10 +72,14 @@ func (g *Graph) Label(n int32) string {
 
 // Succ returns the successor adjacency of node n. The caller must not modify
 // the returned slice.
+//
+//icpp98:hotpath
 func (g *Graph) Succ(n int32) []Adj { return g.succ[n] }
 
 // Pred returns the predecessor adjacency of node n. The caller must not
 // modify the returned slice.
+//
+//icpp98:hotpath
 func (g *Graph) Pred(n int32) []Adj { return g.pred[n] }
 
 // OutDegree returns the number of children of n.
