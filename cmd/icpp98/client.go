@@ -101,9 +101,15 @@ func (c *client) do(method, path string, body, out any) {
 		fatal(err)
 	}
 	if resp.StatusCode/100 != 2 {
+		// Every /v1 error is a {code, message, job_id?} envelope; surface
+		// the machine-readable code alongside the message so scripts can
+		// match on it (see docs/API.md for the code inventory).
 		var e server.ErrorResponse
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			fatal(fmt.Errorf("%s: %s", resp.Status, e.Error))
+		if json.Unmarshal(data, &e) == nil && e.Message != "" {
+			if e.JobID != "" {
+				fatal(fmt.Errorf("%s (%s, job %s): %s", resp.Status, e.Code, e.JobID, e.Message))
+			}
+			fatal(fmt.Errorf("%s (%s): %s", resp.Status, e.Code, e.Message))
 		}
 		fatal(fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data))))
 	}

@@ -7,8 +7,13 @@
 //
 // With -store-dir the job store is file-backed (append-only WAL compacted
 // into a snapshot): a restarted daemon recovers its retained jobs —
-// finished results stay fetchable, jobs that were mid-flight read failed
-// with an "interrupted" error. Identical submissions are answered from a
+// finished results stay fetchable, and with -cluster, jobs that were
+// leased to a worker mid-flight are resumed: the lease journal rides the
+// same WAL, and a worker that long-polls back within -adopt-grace presents
+// its lease token and keeps solving (leases nobody reclaims are re-queued
+// without charging the job's retry budget). Mid-flight jobs without a
+// live lease read failed with an "interrupted" error, as before.
+// Identical submissions are answered from a
 // content-addressed schedule cache (-cache-bytes budgets it; submit with
 // "cache":"bypass" to force a fresh solve). /metrics serves Prometheus
 // text-format counters and latency histograms, and -debug-addr serves
@@ -84,6 +89,7 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "with -cluster: re-queue a leased job unreported for this long")
 	workerTimeout := flag.Duration("worker-timeout", 10*time.Second, "with -cluster: deregister a worker silent for this long")
 	jobAttempts := flag.Int("job-attempts", 3, "with -cluster: attempts a job may lose to worker death/expiry before it fails")
+	adoptGrace := flag.Duration("adopt-grace", 0, "with -cluster and -store-dir: how long after a restart workers may reclaim recovered leases (0 = 2×lease-ttl)")
 	backlog := flag.Int("backlog-per-slot", 0, "503 submissions once active jobs reach this × aggregate capacity (0 = store-bound only)")
 	storeDir := flag.String("store-dir", "", "persist jobs under this directory (WAL + snapshot); restart recovers them. Empty = in-memory")
 	cacheBytes := flag.Int64("cache-bytes", 0, "schedule-cache byte budget (0 = 64 MiB, negative = disable)")
@@ -115,9 +121,17 @@ func main() {
 			LeaseTTL:      *leaseTTL,
 			WorkerTimeout: *workerTimeout,
 			MaxAttempts:   *jobAttempts,
+			AdoptGrace:    *adoptGrace,
 			Logger:        logger,
+			Leases:        srv.LeaseStore(),
 		})
 		srv.EnableCluster(coord)
+	}
+	// Re-offer recovered mid-flight jobs before the listener opens: the
+	// coordinator parks their journaled leases for adoption, so a worker
+	// whose first request races the resume still finds its lease waiting.
+	if resumed := srv.ResumeRecovered(); resumed > 0 {
+		logger.Info("resumed recovered jobs", "jobs", resumed)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

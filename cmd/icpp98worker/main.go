@@ -10,6 +10,13 @@
 // unchanged and falls back to its local pool when no workers are
 // registered. SIGINT/SIGTERM drain gracefully: in-flight jobs are handed
 // back to the coordinator for re-leasing before the process exits.
+//
+// A coordinator restart is survivable: the worker keeps solving through
+// the outage, re-registers when the daemon answers again, and presents
+// its held lease tokens — a durable-store (-store-dir) coordinator adopts
+// them within its -adopt-grace window and the solves conclude normally.
+// Worker and coordinator must speak the same cluster protocol version; a
+// mismatch is refused at registration with a protocol_mismatch error.
 package main
 
 import (

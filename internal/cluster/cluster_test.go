@@ -547,9 +547,30 @@ func TestWorkerEndpoints(t *testing.T) {
 		return resp, out.Bytes()
 	}
 
+	// A worker speaking another protocol version is refused with a typed
+	// error naming both versions — on register and lease alike.
+	resp, data := post("/v1/workers/register", RegisterRequest{ProtocolVersion: ProtocolVersion + 1, Name: "probe"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("version-mismatch register: got %d, want 400", resp.StatusCode)
+	}
+	var envelope server.ErrorResponse
+	if err := json.Unmarshal(data, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Code != server.ErrCodeProtocolMismatch {
+		t.Fatalf("version-mismatch code = %q, want %q", envelope.Code, server.ErrCodeProtocolMismatch)
+	}
+	wantMsg := (&ProtocolError{Worker: ProtocolVersion + 1, Coordinator: ProtocolVersion}).Error()
+	if envelope.Message != wantMsg {
+		t.Fatalf("version-mismatch message = %q, want %q", envelope.Message, wantMsg)
+	}
+	if resp, _ := post("/v1/workers/lease", LeaseRequest{WorkerID: "worker-1", WaitMS: 1}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("versionless lease: got %d, want 400", resp.StatusCode)
+	}
+
 	// Register: capacity < 1 is clamped to 1; the reply carries the
 	// cadence contract.
-	resp, data := post("/v1/workers/register", RegisterRequest{Name: "probe", Engines: []string{"astar"}})
+	resp, data = post("/v1/workers/register", RegisterRequest{ProtocolVersion: ProtocolVersion, Name: "probe", Engines: []string{"astar"}})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("register: got %d: %s", resp.StatusCode, data)
 	}
@@ -571,7 +592,7 @@ func TestWorkerEndpoints(t *testing.T) {
 
 	// Lease: an empty queue answers 200 with a null job once the poll
 	// budget lapses; an unknown worker is told to re-register.
-	resp, data = post("/v1/workers/lease", LeaseRequest{WorkerID: reg.WorkerID, WaitMS: 1})
+	resp, data = post("/v1/workers/lease", LeaseRequest{ProtocolVersion: ProtocolVersion, WorkerID: reg.WorkerID, WaitMS: 1})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("empty lease: got %d", resp.StatusCode)
 	}
@@ -582,15 +603,15 @@ func TestWorkerEndpoints(t *testing.T) {
 	if lease.Job != nil {
 		t.Fatalf("empty lease returned a job: %+v", lease.Job)
 	}
-	if resp, _ := post("/v1/workers/lease", LeaseRequest{WorkerID: "worker-999", WaitMS: 1}); resp.StatusCode != http.StatusNotFound {
+	if resp, _ := post("/v1/workers/lease", LeaseRequest{ProtocolVersion: ProtocolVersion, WorkerID: "worker-999", WaitMS: 1}); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown-worker lease: got %d, want 404", resp.StatusCode)
 	}
 
 	// Report: unknown worker 404; a lease this worker does not hold 410.
-	if resp, _ := post("/v1/workers/jobs/job-1/report", ReportRequest{WorkerID: "worker-999"}); resp.StatusCode != http.StatusNotFound {
+	if resp, _ := post("/v1/workers/jobs/job-1/report", ReportRequest{ProtocolVersion: ProtocolVersion, WorkerID: "worker-999"}); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown-worker report: got %d, want 404", resp.StatusCode)
 	}
-	if resp, _ := post("/v1/workers/jobs/job-1/report", ReportRequest{WorkerID: reg.WorkerID}); resp.StatusCode != http.StatusGone {
+	if resp, _ := post("/v1/workers/jobs/job-1/report", ReportRequest{ProtocolVersion: ProtocolVersion, WorkerID: reg.WorkerID}); resp.StatusCode != http.StatusGone {
 		t.Fatalf("unheld-lease report: got %d, want 410", resp.StatusCode)
 	}
 

@@ -22,6 +22,8 @@ package cluster
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -35,6 +37,18 @@ import (
 	"repro/internal/obs"
 	"repro/internal/server"
 )
+
+// newLeaseToken mints a lease's adoption credential: 32 hex characters of
+// entropy, unguessable by any worker that was not handed the grant.
+// Called outside the coordinator mutex — the system randomness read must
+// not ride the lease-table lock.
+func newLeaseToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("token-%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
 
 // Config tunes the coordinator's failure detection. The zero value is
 // production-usable; tests shrink the durations.
@@ -58,6 +72,18 @@ type Config struct {
 	// ReapInterval is the failure-detector tick. <= 0 selects a quarter of
 	// the smaller of LeaseTTL and WorkerTimeout.
 	ReapInterval time.Duration
+	// AdoptGrace is how long a restarted coordinator holds a recovered
+	// lease open for its worker to long-poll back and re-adopt it. A lease
+	// whose worker never returns inside the window is re-queued without
+	// charging the job's retry budget (the worker did nothing wrong — the
+	// coordinator is the one that died). <= 0 selects 2×LeaseTTL.
+	AdoptGrace time.Duration
+	// Leases, when non-nil, is the durable lease journal (the file-backed
+	// job store implements it — server.LeaseStore): every grant and
+	// adoption is persisted and every resolution tombstoned, and the
+	// coordinator reads the surviving records back at construction to park
+	// them for adoption. Nil keeps the lease table memory-only.
+	Leases server.LeaseStore
 	// Logger receives the coordinator's structured log records — worker
 	// registration/reaping, lease grants, failovers — stamped with each
 	// job's trace_id; nil discards them.
@@ -97,6 +123,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReapInterval <= 0 {
 		c.ReapInterval = min(c.LeaseTTL, c.WorkerTimeout) / 4
+	}
+	if c.AdoptGrace <= 0 {
+		c.AdoptGrace = 2 * c.LeaseTTL
 	}
 	return c
 }
@@ -148,6 +177,29 @@ type task struct {
 	basePE, basePF   int64 // pruning counters, same fold discipline
 	lastPE, lastPF   int64
 	resolved         bool
+
+	// token is the lease's adoption credential (see LeasedJob.Token);
+	// leased marks a durable lease record journaled for this task, so
+	// resolutions know to tombstone it.
+	token  string
+	leased bool
+	// adopting marks a recovered lease waiting inside the grace window for
+	// its worker to re-register; the task is neither pending nor leased to
+	// a live worker while set.
+	adopting bool
+}
+
+// parkedLease is a lease recovered from the durable journal whose job has
+// not been re-dispatched yet (Server.ResumeRecovered races worker
+// re-registration; either may arrive first). A worker that re-registers
+// first binds itself here, and any reports it sends before the job's
+// Dispatch arrives are buffered (latest wins — reports carry absolute
+// totals, and a terminal report is never overwritten by a progress one).
+type parkedLease struct {
+	rec        server.LeaseRecord
+	workerID   string // bound at re-registration; "" until then
+	workerName string
+	report     *ReportRequest
 }
 
 // Coordinator is the cluster's control plane: the worker registry, the
@@ -164,17 +216,26 @@ type Coordinator struct {
 	pending []*task          // FIFO subset of tasks awaiting a lease
 	wake    chan struct{}    // closed+replaced to wake lease long-polls
 	seq     int64
+	// parked holds the recovered leases awaiting their job's re-dispatch;
+	// adoptUntil is the grace deadline every recovered lease shares (the
+	// coordinator's start plus AdoptGrace).
+	parked     map[string]*parkedLease
+	adoptUntil time.Time
 
 	dispatched int64
 	failovers  int64
+	adoptions  int64
 
 	closeOnce sync.Once
 	closed    chan struct{}
 }
 
 // NewCoordinator builds a coordinator and starts its failure detector.
-// Close it to stop the detector and give every unresolved job back to the
-// local pool.
+// With a durable lease journal configured, the previous incarnation's
+// surviving leases are parked for adoption synchronously here — before
+// any HTTP traffic can arrive — so a worker that re-registers is never
+// told to abandon a lease the journal still vouches for. Close it to stop
+// the detector and give every unresolved job back to the local pool.
 func NewCoordinator(cfg Config) *Coordinator {
 	logger := cfg.Logger
 	if logger == nil {
@@ -185,8 +246,19 @@ func NewCoordinator(cfg Config) *Coordinator {
 		log:     logger,
 		workers: map[string]*workerState{},
 		tasks:   map[string]*task{},
+		parked:  map[string]*parkedLease{},
 		wake:    make(chan struct{}),
 		closed:  make(chan struct{}),
+	}
+	c.adoptUntil = time.Now().Add(c.cfg.AdoptGrace)
+	if c.cfg.Leases != nil {
+		for _, rec := range c.cfg.Leases.RecoveredLeases() {
+			c.parked[rec.JobID] = &parkedLease{rec: rec}
+			c.log.Info("lease parked for adoption",
+				"job", rec.JobID, "trace_id", rec.TraceID,
+				"worker_id", rec.WorkerID, "attempt", rec.Attempt,
+				"grace_ms", c.cfg.AdoptGrace.Milliseconds())
+		}
 	}
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("GET /v1/workers", c.handleList)
@@ -220,6 +292,36 @@ func (c *Coordinator) broadcastLocked() {
 	c.wake = make(chan struct{})
 }
 
+// dropLeaseLocked tombstones the task's durable lease record, if one was
+// journaled. The journal shares the job store's WAL; writing it here,
+// under the coordinator mutex, is the same sanctioned durability-inside-
+// the-lock trade the store's own sink makes.
+func (c *Coordinator) dropLeaseLocked(t *task) {
+	if !t.leased || c.cfg.Leases == nil {
+		return
+	}
+	t.leased = false
+	c.cfg.Leases.DropLease(t.job.ID) //icpp98:allow lockscope the lease journal must stay ordered with the lease table it records; same WAL-under-mutex contract as the job store sink
+}
+
+// putLeaseLocked journals the task's current grant.
+func (c *Coordinator) putLeaseLocked(t *task) {
+	if c.cfg.Leases == nil {
+		return
+	}
+	t.leased = true
+	c.cfg.Leases.PutLease(server.LeaseRecord{ //icpp98:allow lockscope the lease journal must stay ordered with the lease table it records; same WAL-under-mutex contract as the job store sink
+		JobID:      t.job.ID,
+		WorkerID:   t.worker,
+		WorkerName: t.workerName,
+		Token:      t.token,
+		Attempt:    t.attempts,
+		Granted:    t.leaseStart,
+		Deadline:   t.leaseExpiry,
+		TraceID:    t.job.TraceID,
+	})
+}
+
 // resolveLocked delivers a task's outcome exactly once and drops it from
 // the lease table and pending queue.
 func (c *Coordinator) resolveLocked(t *task, out outcome) {
@@ -227,6 +329,7 @@ func (c *Coordinator) resolveLocked(t *task, out outcome) {
 		return
 	}
 	t.resolved = true
+	c.dropLeaseLocked(t)
 	delete(c.tasks, t.job.ID)
 	for i, p := range c.pending {
 		if p == t {
@@ -281,6 +384,7 @@ func (t *task) leaseSpanLocked(outcome string) {
 func (c *Coordinator) requeueLocked(t *task, reason string, budgeted bool) {
 	c.failovers++
 	t.leaseSpanLocked(reason)
+	c.dropLeaseLocked(t)
 	if t.worker != "" {
 		t.excluded[t.worker] = true
 		c.log.Warn("cluster failover",
@@ -348,6 +452,30 @@ func (c *Coordinator) reap() {
 				c.requeueLocked(t, fmt.Sprintf("lease expired on worker %s", t.worker), true)
 			}
 		}
+		for _, t := range c.tasks {
+			if !t.adopting || !now.After(c.adoptUntil) {
+				continue
+			}
+			// The recovered lease's worker never came back. Re-queue without
+			// charging the retry budget: the worker did nothing wrong and
+			// neither did the job — the coordinator is the process that died.
+			t.adopting = false
+			if t.job.Trace != nil {
+				t.job.Trace.RecordTimed("adopt", obs.OriginCoordinator, c.adoptUntil.Add(-c.cfg.AdoptGrace), now,
+					"outcome", "expired", "attempt", strconv.Itoa(t.attempts))
+			}
+			c.requeueLocked(t, "adoption grace expired: the lease's worker never re-registered", false)
+		}
+		if len(c.parked) > 0 && now.After(c.adoptUntil) {
+			// Recovered leases whose job was never re-dispatched (the server
+			// failed it at resume, or it was cancelled): past the grace
+			// window their bound workers get 410 on the next report and drop
+			// the solve.
+			for id, p := range c.parked {
+				c.log.Warn("parked lease expired unclaimed", "job", id, "trace_id", p.rec.TraceID)
+			}
+			c.parked = map[string]*parkedLease{}
+		}
 		for _, t := range append([]*task(nil), c.pending...) {
 			if t.ctx.Err() != nil {
 				c.resolveLocked(t, outcome{})
@@ -362,13 +490,18 @@ func (c *Coordinator) reap() {
 // Dispatch implements server.Dispatcher: enqueue the job for leasing and
 // block until the cluster resolves it. It declines immediately (handled =
 // false) when no workers are registered — the transparent local fallback.
+// A dispatch carrying a recovered lease (job.Resume) never declines on an
+// empty registry: its worker may still be long-polling its way back, so
+// the task parks in the adoption window instead.
 func (c *Coordinator) Dispatch(ctx context.Context, job server.DispatchJob) (*server.JobResult, string, bool) {
-	c.mu.Lock()
-	if len(c.workers) == 0 {
+	if job.Resume == nil {
+		c.mu.Lock()
+		if len(c.workers) == 0 {
+			c.mu.Unlock()
+			return nil, "", false
+		}
 		c.mu.Unlock()
-		return nil, "", false
 	}
-	c.mu.Unlock()
 	// Serialize the instance once, outside the lock: every lease attempt
 	// sends identical bytes, and lease grants must not hold the global
 	// mutex through a graph-sized marshal. A validated instance cannot
@@ -401,10 +534,18 @@ func (c *Coordinator) Dispatch(ctx context.Context, job server.DispatchJob) (*se
 		return nil, "", false
 	default:
 	}
-	c.tasks[job.ID] = t
-	c.pending = append(c.pending, t)
-	c.broadcastLocked()
+	var started func()
+	if job.Resume != nil {
+		started = c.resumeLocked(t, job.Resume)
+	} else {
+		c.tasks[job.ID] = t
+		c.pending = append(c.pending, t)
+		c.broadcastLocked()
+	}
 	c.mu.Unlock()
+	if started != nil {
+		started()
+	}
 
 	var out outcome
 	select {
@@ -422,6 +563,70 @@ func (c *Coordinator) Dispatch(ctx context.Context, job server.DispatchJob) (*se
 		return nil, "", false
 	}
 	return out.res, out.errMessage, true
+}
+
+// resumeLocked installs a re-dispatched recovered job into the lease
+// table under its journaled lease. If the lease's worker already
+// re-registered (and bound itself to the parked entry), the task is
+// adopted on the spot and any buffered report — including a terminal one
+// the worker sent while the job's re-dispatch was still in flight — is
+// applied; otherwise the task waits in the adoption window for the worker
+// to return, and reap re-queues it (unbudgeted) if it never does. Returns
+// the job's Started callback for the caller to invoke outside the lock:
+// the job was solving before the crash, so it reads running immediately,
+// not queued.
+func (c *Coordinator) resumeLocked(t *task, rec *server.LeaseRecord) func() {
+	t.token = rec.Token
+	t.attempts = rec.Attempt
+	t.leased = true // the journal already carries this lease
+	t.started = true
+	c.tasks[t.job.ID] = t
+	p := c.parked[t.job.ID]
+	delete(c.parked, t.job.ID)
+	var ws *workerState
+	if p != nil && p.workerID != "" {
+		ws = c.workers[p.workerID]
+	}
+	if ws == nil {
+		t.adopting = true
+		c.log.Info("recovered lease awaiting adoption",
+			"job", t.job.ID, "trace_id", t.job.TraceID,
+			"prev_worker_id", rec.WorkerID, "attempt", t.attempts,
+			"grace_ms", time.Until(c.adoptUntil).Milliseconds())
+		return t.job.Started
+	}
+	c.adoptLocked(t, ws)
+	if p.report != nil {
+		c.ingestReportLocked(t, ws, p.report)
+	}
+	return t.job.Started
+}
+
+// adoptLocked binds a recovered lease to the worker that re-presented its
+// token: the solve continues under the worker's new ID on the same
+// attempt number — no retry budget is charged, because nothing failed.
+// The adopt span stretches from the coordinator's start to now: how long
+// the lease hung in the air before its worker reclaimed it.
+func (c *Coordinator) adoptLocked(t *task, ws *workerState) {
+	now := time.Now()
+	t.adopting = false
+	t.worker = ws.id
+	t.workerName = ws.name
+	t.leaseStart = now
+	t.leaseExpiry = now.Add(c.cfg.LeaseTTL)
+	ws.leased[t.job.ID] = t
+	c.adoptions++
+	if t.job.Trace != nil {
+		t.job.Trace.RecordTimed("adopt", obs.OriginCoordinator, c.adoptUntil.Add(-c.cfg.AdoptGrace), now,
+			"worker", ws.name,
+			"worker_id", ws.id,
+			"attempt", strconv.Itoa(t.attempts),
+			"outcome", "adopted")
+	}
+	c.putLeaseLocked(t)
+	c.log.Info("lease adopted",
+		"job", t.job.ID, "trace_id", t.job.TraceID,
+		"worker", ws.name, "worker_id", ws.id, "attempt", t.attempts)
 }
 
 // Capacity implements server.Dispatcher.
@@ -458,6 +663,7 @@ func (c *Coordinator) Health() *server.ClusterHealth {
 		Pending:    len(c.pending),
 		Dispatched: c.dispatched,
 		Failovers:  c.failovers,
+		Adoptions:  c.adoptions,
 	}
 	for _, w := range c.workers {
 		h.Capacity += w.capacity
@@ -488,15 +694,33 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	// job's failure budget on lease expiries.
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		server.WriteError(w, http.StatusBadRequest, "bad request body: %v", err)
+		server.WriteError(w, http.StatusBadRequest, server.ErrCodeBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
 }
 
+// checkVersion rejects a worker speaking a different wire protocol
+// revision with a typed error naming both versions — the handshake that
+// turns DisallowUnknownFields decode drift into an actionable failure.
+// Applied to register, lease, and report (the mutating endpoints).
+func (c *Coordinator) checkVersion(w http.ResponseWriter, workerVersion int) bool {
+	if workerVersion == ProtocolVersion {
+		return true
+	}
+	perr := &ProtocolError{Worker: workerVersion, Coordinator: ProtocolVersion}
+	c.log.Warn("worker rejected: protocol mismatch",
+		"worker_version", workerVersion, "coordinator_version", ProtocolVersion)
+	server.WriteError(w, http.StatusBadRequest, server.ErrCodeProtocolMismatch, "%v", perr)
+	return false
+}
+
 func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !c.checkVersion(w, req.ProtocolVersion) {
 		return
 	}
 	if req.Capacity < 1 {
@@ -505,7 +729,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	c.seq++
 	id := fmt.Sprintf("worker-%d", c.seq)
-	c.workers[id] = &workerState{
+	ws := &workerState{
 		id:       id,
 		name:     req.Name,
 		capacity: req.Capacity,
@@ -513,15 +737,66 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		lastSeen: time.Now(),
 		leased:   map[string]*task{},
 	}
+	c.workers[id] = ws
+	adoptions := c.adoptHeldLocked(ws, req.HeldLeases)
 	c.mu.Unlock()
 	c.log.Info("worker registered",
 		"worker", req.Name, "worker_id", id,
-		"capacity", req.Capacity, "engines", strings.Join(req.Engines, ","))
+		"capacity", req.Capacity, "engines", strings.Join(req.Engines, ","),
+		"held_leases", len(req.HeldLeases))
 	server.WriteJSON(w, http.StatusOK, RegisterResponse{
 		WorkerID:         id,
 		LeaseTTLMS:       c.cfg.LeaseTTL.Milliseconds(),
 		ReportIntervalMS: c.cfg.ReportInterval.Milliseconds(),
+		Adoptions:        adoptions,
 	})
+}
+
+// adoptHeldLocked answers a re-registering worker's held leases. A lease
+// is adopted when its token matches either a live adopting task (the
+// job's re-dispatch arrived first) or a parked recovered lease (the
+// worker arrived first — it binds here and the re-dispatch completes the
+// adoption); anything else is abandoned with the reason, and the worker
+// cancels that solve.
+func (c *Coordinator) adoptHeldLocked(ws *workerState, held []HeldLease) []LeaseAdoption {
+	if len(held) == 0 {
+		return nil
+	}
+	out := make([]LeaseAdoption, 0, len(held))
+	for _, h := range held {
+		a := LeaseAdoption{JobID: h.JobID}
+		t := c.tasks[h.JobID]
+		p := c.parked[h.JobID]
+		switch {
+		case t != nil && t.adopting && h.Token != "" && t.token == h.Token:
+			c.adoptLocked(t, ws)
+			a.Adopted = true
+		case p != nil && h.Token != "" && p.rec.Token == h.Token:
+			p.workerID = ws.id
+			p.workerName = ws.name
+			a.Adopted = true
+			c.log.Info("parked lease bound to re-registered worker",
+				"job", h.JobID, "trace_id", p.rec.TraceID,
+				"worker", ws.name, "worker_id", ws.id)
+		case (t != nil && t.adopting) || p != nil:
+			a.Reason = "lease token mismatch"
+		default:
+			a.Reason = "no adoptable lease for this job (resolved, re-queued, or past the grace window)"
+		}
+		if !a.Adopted {
+			traceID := ""
+			switch {
+			case t != nil:
+				traceID = t.job.TraceID
+			case p != nil:
+				traceID = p.rec.TraceID
+			}
+			c.log.Warn("held lease abandoned", "job", h.JobID, "trace_id", traceID,
+				"worker", ws.name, "worker_id", ws.id, "reason", a.Reason)
+		}
+		out = append(out, a)
+	}
+	return out
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -536,7 +811,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Unlock()
 	if ws == nil {
-		server.WriteError(w, http.StatusNotFound, "unknown worker %q (re-register)", req.WorkerID)
+		server.WriteError(w, http.StatusNotFound, server.ErrCodeUnknownWorker, "unknown worker %q (re-register)", req.WorkerID)
 		return
 	}
 	server.WriteJSON(w, http.StatusOK, struct{}{})
@@ -550,21 +825,27 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	if !c.checkVersion(w, req.ProtocolVersion) {
+		return
+	}
 	wait := c.cfg.PollWait
 	if req.WaitMS > 0 && time.Duration(req.WaitMS)*time.Millisecond < wait {
 		wait = time.Duration(req.WaitMS) * time.Millisecond
 	}
 	deadline := time.Now().Add(wait)
 	for {
+		// Minted before the lock: the grant must not read system randomness
+		// while holding the lease table. An ungranted token is discarded.
+		token := newLeaseToken()
 		c.mu.Lock()
 		ws := c.workers[req.WorkerID]
 		if ws == nil {
 			c.mu.Unlock()
-			server.WriteError(w, http.StatusNotFound, "unknown worker %q (re-register)", req.WorkerID)
+			server.WriteError(w, http.StatusNotFound, server.ErrCodeUnknownWorker, "unknown worker %q (re-register)", req.WorkerID)
 			return
 		}
 		ws.lastSeen = time.Now()
-		if lease, started := c.grantLocked(ws); lease != nil {
+		if lease, started := c.grantLocked(ws, token); lease != nil {
 			c.mu.Unlock()
 			if started != nil {
 				started()
@@ -599,9 +880,9 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 }
 
 // grantLocked pops the first pending task this worker may run and leases
-// it. It returns the job's Started callback (to invoke outside the lock)
-// the first time the job is ever leased.
-func (c *Coordinator) grantLocked(ws *workerState) (*LeasedJob, func()) {
+// it under the caller-minted token. It returns the job's Started callback
+// (to invoke outside the lock) the first time the job is ever leased.
+func (c *Coordinator) grantLocked(ws *workerState, token string) (*LeasedJob, func()) {
 	if len(ws.leased) >= ws.capacity {
 		return nil, nil
 	}
@@ -623,8 +904,10 @@ func (c *Coordinator) grantLocked(ws *workerState) (*LeasedJob, func()) {
 		t.leaseStart = time.Now()
 		t.leaseExpiry = t.leaseStart.Add(c.cfg.LeaseTTL)
 		t.attempts++
+		t.token = token
 		ws.leased[t.job.ID] = t
 		c.dispatched++
+		c.putLeaseLocked(t)
 		c.log.Info("lease granted",
 			"job", t.job.ID, "trace_id", t.job.TraceID,
 			"worker", ws.name, "worker_id", ws.id, "attempt", t.attempts)
@@ -636,6 +919,7 @@ func (c *Coordinator) grantLocked(ws *workerState) (*LeasedJob, func()) {
 			Engines: t.job.Engines,
 			Config:  t.job.Config,
 			TraceID: t.job.TraceID,
+			Token:   t.token,
 		}
 		var started func()
 		if !t.started {
@@ -657,27 +941,53 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	if !c.checkVersion(w, req.ProtocolVersion) {
+		return
+	}
 	c.mu.Lock()
 	ws := c.workers[req.WorkerID]
 	if ws == nil {
 		c.mu.Unlock()
-		server.WriteError(w, http.StatusNotFound, "unknown worker %q (re-register)", req.WorkerID)
+		server.WriteError(w, http.StatusNotFound, server.ErrCodeUnknownWorker, "unknown worker %q (re-register)", req.WorkerID)
 		return
 	}
 	ws.lastSeen = time.Now()
 	t := c.tasks[id]
 	if t == nil || t.worker != req.WorkerID {
+		// An adopted-at-registration worker can start reporting before the
+		// job's own re-dispatch reaches the coordinator: buffer the report
+		// on the parked lease (latest wins, but a terminal report is never
+		// displaced by a progress one) and apply it when the task arrives.
+		if p := c.parked[id]; t == nil && p != nil && p.workerID == req.WorkerID {
+			if req.Done || req.Abandon || p.report == nil || !(p.report.Done || p.report.Abandon) {
+				p.report = &req
+			}
+			c.mu.Unlock()
+			server.WriteJSON(w, http.StatusOK, ReportResponse{Cancel: false})
+			return
+		}
 		c.mu.Unlock()
-		server.WriteError(w, http.StatusGone, "no lease on job %q held by worker %q", id, req.WorkerID)
+		server.WriteJobError(w, http.StatusGone, server.ErrCodeLeaseGone, id, "no lease on job %q held by worker %q", id, req.WorkerID)
 		return
 	}
+	cancel := t.ctx.Err() != nil
+	c.ingestReportLocked(t, ws, &req)
+	c.mu.Unlock()
+	server.WriteJSON(w, http.StatusOK, ReportResponse{Cancel: cancel})
+}
+
+// ingestReportLocked folds one report from the task's lease holder into
+// the job: lease extension, progress counters, trace spans, and the
+// terminal transitions. Shared by handleReport and the parked-report
+// replay in resumeLocked.
+func (c *Coordinator) ingestReportLocked(t *task, ws *workerState, req *ReportRequest) {
 	t.leaseExpiry = time.Now().Add(c.cfg.LeaseTTL)
 	t.lastExp, t.lastGen = req.Expanded, req.Generated
 	t.lastPE, t.lastPF = req.PrunedEquiv, req.PrunedFTO
-	cancel := t.ctx.Err() != nil
 	// The progress fold happens under the mutex, atomically with the
-	// lease-holder check above: a stale report racing a failover must not
-	// rewind the counters after the survivor reported larger totals.
+	// lease-holder check in the caller: a stale report racing a failover
+	// must not rewind the counters after the survivor reported larger
+	// totals.
 	if t.job.Progress != nil {
 		t.job.Progress(t.baseExp+req.Expanded, t.baseGen+req.Generated)
 	}
@@ -714,8 +1024,6 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 		t.leaseSpanLocked(leaseOutcome)
 		c.resolveLocked(t, outcome{res: req.Result, errMessage: req.Error})
 	}
-	c.mu.Unlock()
-	server.WriteJSON(w, http.StatusOK, ReportResponse{Cancel: cancel})
 }
 
 func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {

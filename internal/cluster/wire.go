@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"fmt"
 
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -13,9 +14,35 @@ import (
 // remotely is byte-identical on the wire to one computed locally.
 // docs/API.md documents the same shapes; the two must move together.
 
+// ProtocolVersion is the cluster wire protocol revision this build
+// speaks. Every request decoder rejects unknown fields, so adding a
+// field is a breaking change for older peers — the version handshake
+// turns that silent decode drift into a typed rejection. Version 2
+// added lease tokens, held-lease re-registration, and the unified
+// error envelope.
+const ProtocolVersion = 2
+
+// ProtocolError reports a register/lease/report attempt by a worker
+// speaking a different protocol revision than the coordinator. A zero
+// Worker version means the peer predates the handshake entirely.
+type ProtocolError struct {
+	Worker      int
+	Coordinator int
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("cluster: protocol version mismatch: worker speaks v%d, coordinator speaks v%d", e.Worker, e.Coordinator)
+}
+
 // RegisterRequest is the body of POST /v1/workers/register: a worker
-// announcing itself and its capacity.
+// announcing itself and its capacity. A worker that held leases from a
+// previous coordinator incarnation re-presents them so the coordinator
+// can adopt the in-flight solves instead of failing them over.
 type RegisterRequest struct {
+	// ProtocolVersion is the wire revision the worker speaks; the
+	// coordinator rejects a mismatch with a typed error naming both
+	// versions. Zero (the field absent) means a pre-versioned worker.
+	ProtocolVersion int `json:"protocol_version"`
 	// Name is a human-readable label (hostname by default); the coordinator
 	// assigns the unique ID.
 	Name string `json:"name"`
@@ -24,6 +51,29 @@ type RegisterRequest struct {
 	// Engines are the registry engines the worker serves, for the
 	// /v1/engines cluster view.
 	Engines []string `json:"engines,omitempty"`
+	// HeldLeases are the leases this worker still holds from before the
+	// coordinator restarted (or before its own ID was forgotten); the
+	// coordinator answers adopt/abandon per lease in Adoptions.
+	HeldLeases []HeldLease `json:"held_leases,omitempty"`
+}
+
+// HeldLease is one in-flight lease a re-registering worker presents for
+// adoption: the job, the secret token the original grant carried, and
+// the attempt number the worker is solving under.
+type HeldLease struct {
+	JobID   string `json:"job_id"`
+	Token   string `json:"token"`
+	Attempt int    `json:"attempt"`
+}
+
+// LeaseAdoption is the coordinator's verdict on one presented lease:
+// adopted means the worker keeps solving and reports under its new
+// worker ID; otherwise the worker must cancel the solve (Reason says
+// why — the job finished, was re-queued, or the token didn't match).
+type LeaseAdoption struct {
+	JobID   string `json:"job_id"`
+	Adopted bool   `json:"adopted"`
+	Reason  string `json:"reason,omitempty"`
 }
 
 // RegisterResponse returns the assigned worker ID and the cadence contract:
@@ -33,6 +83,9 @@ type RegisterResponse struct {
 	WorkerID         string `json:"worker_id"`
 	LeaseTTLMS       int64  `json:"lease_ttl_ms"`
 	ReportIntervalMS int64  `json:"report_interval_ms"`
+	// Adoptions answers the request's HeldLeases one-to-one (matched by
+	// job ID); empty when the worker presented none.
+	Adoptions []LeaseAdoption `json:"adoptions,omitempty"`
 }
 
 // HeartbeatRequest is the body of POST /v1/workers/heartbeat. Lease polls
@@ -47,8 +100,11 @@ type HeartbeatRequest struct {
 // next queued job. The coordinator holds the request up to WaitMS (capped
 // by its own poll bound) when the queue is empty.
 type LeaseRequest struct {
-	WorkerID string `json:"worker_id"`
-	WaitMS   int64  `json:"wait_ms,omitempty"`
+	// ProtocolVersion is the wire revision the worker speaks; see
+	// RegisterRequest.ProtocolVersion.
+	ProtocolVersion int    `json:"protocol_version"`
+	WorkerID        string `json:"worker_id"`
+	WaitMS          int64  `json:"wait_ms,omitempty"`
 }
 
 // LeasedJob is one job handed to a worker: the instance in its canonical
@@ -66,6 +122,11 @@ type LeasedJob struct {
 	// submission; the worker stamps it on its log records and the spans it
 	// reports back, so the remote attempt correlates end to end.
 	TraceID string `json:"trace_id,omitempty"`
+	// Token is the lease's adoption credential: a random secret the
+	// worker re-presents at re-registration to prove it holds this exact
+	// grant, so a restarted coordinator re-adopts the in-flight solve
+	// instead of failing it over.
+	Token string `json:"token,omitempty"`
 }
 
 // LeaseResponse is the body of a 200 lease reply; Job is null when the
@@ -80,7 +141,10 @@ type LeaseResponse struct {
 // (Result or Error), Abandon hands the job back for re-leasing (a worker
 // draining on shutdown).
 type ReportRequest struct {
-	WorkerID string `json:"worker_id"`
+	// ProtocolVersion is the wire revision the worker speaks; see
+	// RegisterRequest.ProtocolVersion.
+	ProtocolVersion int    `json:"protocol_version"`
+	WorkerID        string `json:"worker_id"`
 	// Expanded/Generated are the absolute totals of this attempt; the
 	// coordinator folds them into the job's live progress on top of the
 	// counts earlier attempts accumulated. PrunedEquiv/PrunedFTO carry the

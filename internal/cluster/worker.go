@@ -63,11 +63,55 @@ type Worker struct {
 
 	id          string
 	reportEvery time.Duration
+	held        map[string]*heldLease // live leases, by job ID
 
 	killed     atomic.Bool
 	cancel     context.CancelFunc
-	mu         sync.Mutex // guards id, reportEvery, and cancel during re-registration/kill
+	mu         sync.Mutex // guards id, reportEvery, held, and cancel during re-registration/kill
 	registerMu sync.Mutex // single-flights re-registration across the pullers
+}
+
+// heldLease tracks one live lease so a coordinator restart can be
+// survived: every (re-)registration presents the held leases, and the
+// coordinator answers adopt or abandon per lease. An adopted lease keeps
+// solving — its reports simply move to the fresh worker identity; an
+// abandoned one is cancelled on the spot, because the coordinator has
+// already resolved or re-queued the job and the local attempt is waste.
+type heldLease struct {
+	jobID   string
+	token   string
+	attempt int
+	traceID string
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	workerID string // identity the lease currently reports under
+	lost     bool   // the coordinator refused adoption
+}
+
+func (h *heldLease) currentWorkerID() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.workerID
+}
+
+func (h *heldLease) adopt(workerID string) {
+	h.mu.Lock()
+	h.workerID = workerID
+	h.mu.Unlock()
+}
+
+func (h *heldLease) abandon() {
+	h.mu.Lock()
+	h.lost = true
+	h.mu.Unlock()
+	h.cancel()
+}
+
+func (h *heldLease) isLost() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lost
 }
 
 // NewWorker builds a worker; Run starts it.
@@ -95,6 +139,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		client: client,
 		logf:   logf,
 		log:    logger,
+		held:   map[string]*heldLease{},
 	}
 }
 
@@ -135,10 +180,10 @@ func (w *Worker) post(ctx context.Context, path string, body, out any) error {
 	if resp.StatusCode/100 != 2 {
 		var e server.ErrorResponse
 		msg := strings.TrimSpace(string(data))
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			msg = e.Error
+		if json.Unmarshal(data, &e) == nil && e.Message != "" {
+			msg = e.Message
 		}
-		return &statusError{code: resp.StatusCode, msg: msg}
+		return &statusError{code: resp.StatusCode, apiCode: e.Code, msg: msg}
 	}
 	if out != nil {
 		return json.Unmarshal(data, out)
@@ -147,11 +192,17 @@ func (w *Worker) post(ctx context.Context, path string, body, out any) error {
 }
 
 type statusError struct {
-	code int
-	msg  string
+	code    int
+	apiCode string // machine-readable code from the error envelope, if any
+	msg     string
 }
 
-func (e *statusError) Error() string { return fmt.Sprintf("%d: %s", e.code, e.msg) }
+func (e *statusError) Error() string {
+	if e.apiCode != "" {
+		return fmt.Sprintf("%d %s: %s", e.code, e.apiCode, e.msg)
+	}
+	return fmt.Sprintf("%d: %s", e.code, e.msg)
+}
 
 func statusCode(err error) int {
 	if se, ok := err.(*statusError); ok {
@@ -161,10 +212,19 @@ func statusCode(err error) int {
 }
 
 // register announces the worker, retrying until ctx ends (the daemon may
-// come up after the worker).
+// come up after the worker). Re-registrations carry the held leases; the
+// coordinator's per-lease adopt/abandon verdicts are applied before
+// returning, so callers observe every surviving lease already moved to
+// the fresh identity.
 func (w *Worker) register(ctx context.Context) error {
-	req := RegisterRequest{Name: w.name, Capacity: w.pool.Workers(), Engines: engine.Names()}
 	for {
+		req := RegisterRequest{
+			ProtocolVersion: ProtocolVersion,
+			Name:            w.name,
+			Capacity:        w.pool.Workers(),
+			Engines:         engine.Names(),
+			HeldLeases:      w.heldLeases(),
+		}
 		var resp RegisterResponse
 		err := w.post(ctx, "/v1/workers/register", req, &resp)
 		if err == nil {
@@ -176,6 +236,7 @@ func (w *Worker) register(ctx context.Context) error {
 			w.id = resp.WorkerID
 			w.reportEvery = every
 			w.mu.Unlock()
+			w.applyAdoptions(resp.WorkerID, resp.Adoptions)
 			w.logf("registered as %s (capacity %d) with %s", resp.WorkerID, req.Capacity, w.base)
 			return nil
 		}
@@ -201,6 +262,52 @@ func (w *Worker) workerID() string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.id
+}
+
+// heldLeases snapshots the live leases for a (re-)registration.
+func (w *Worker) heldLeases() []HeldLease {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]HeldLease, 0, len(w.held))
+	for _, h := range w.held {
+		out = append(out, HeldLease{JobID: h.jobID, Token: h.token, Attempt: h.attempt})
+	}
+	return out
+}
+
+// applyAdoptions applies the coordinator's per-lease verdicts from a
+// registration response: adopted leases move to the fresh worker identity,
+// abandoned ones are cancelled through their handle.
+func (w *Worker) applyAdoptions(workerID string, adoptions []LeaseAdoption) {
+	for _, a := range adoptions {
+		w.mu.Lock()
+		h := w.held[a.JobID]
+		w.mu.Unlock()
+		if h == nil {
+			continue
+		}
+		if a.Adopted {
+			h.adopt(workerID)
+			w.logf("job %s: lease adopted across coordinator restart", a.JobID)
+			w.log.Info("lease adopted", "job", a.JobID, "trace_id", h.traceID, "worker_id", workerID)
+		} else {
+			w.logf("job %s: lease abandoned by coordinator: %s", a.JobID, a.Reason)
+			w.log.Warn("lease abandoned", "job", a.JobID, "trace_id", h.traceID, "reason", a.Reason)
+			h.abandon()
+		}
+	}
+}
+
+func (w *Worker) addHeld(h *heldLease) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.held[h.jobID] = h
+}
+
+func (w *Worker) dropHeld(jobID string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.held, jobID)
 }
 
 // reregister refreshes a registration the coordinator forgot,
@@ -271,7 +378,7 @@ func (w *Worker) pull(ctx context.Context) error {
 	for ctx.Err() == nil {
 		id := w.workerID()
 		var resp LeaseResponse
-		err := w.post(ctx, "/v1/workers/lease", LeaseRequest{WorkerID: id}, &resp)
+		err := w.post(ctx, "/v1/workers/lease", LeaseRequest{ProtocolVersion: ProtocolVersion, WorkerID: id}, &resp)
 		switch {
 		case err == nil:
 			if resp.Job != nil {
@@ -311,6 +418,22 @@ func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) 
 	w.log.Info("lease received",
 		"job", lease.ID, "trace_id", lease.TraceID,
 		"attempt", lease.Attempt, "engines", strings.Join(lease.Engines, ","))
+	jobCtx, cancelJob := context.WithCancel(ctx)
+	defer cancelJob()
+	// The held-lease handle is what survives a coordinator restart: a
+	// re-registration (by any puller) presents it, and an adoption verdict
+	// either moves its worker identity or cancels jobCtx through it.
+	h := &heldLease{
+		jobID:    lease.ID,
+		token:    lease.Token,
+		attempt:  lease.Attempt,
+		traceID:  lease.TraceID,
+		cancel:   cancelJob,
+		workerID: workerID,
+	}
+	w.addHeld(h)
+	defer w.dropHeld(lease.ID)
+
 	// The attempt's spans accumulate locally and ship on the terminal
 	// report; origin "worker:<name>" tells the trace reader which process
 	// observed them.
@@ -321,21 +444,19 @@ func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) 
 	g, err := taskgraph.FromJSON(lease.Graph)
 	if err != nil {
 		decode.End("outcome", "error")
-		w.finishJob(workerID, lease.ID, lease.TraceID, progress, rec, nil, fmt.Sprintf("decode graph: %v", err))
+		w.finishJob(h, progress, rec, nil, fmt.Sprintf("decode graph: %v", err))
 		return
 	}
 	sys, err := procgraph.FromJSON(lease.System)
 	if err != nil {
 		decode.End("outcome", "error")
-		w.finishJob(workerID, lease.ID, lease.TraceID, progress, rec, nil, fmt.Sprintf("decode system: %v", err))
+		w.finishJob(h, progress, rec, nil, fmt.Sprintf("decode system: %v", err))
 		return
 	}
 	decode.End("tasks", strconv.Itoa(g.NumNodes()))
 
 	cfg := lease.Config.EngineConfig()
 	progress.Attach(&cfg)
-	jobCtx, cancelJob := context.WithCancel(ctx)
-	defer cancelJob()
 
 	// The reporter doubles as the cancellation listener: a Cancel ack (or a
 	// 410 for a lease the coordinator already revoked) stops the solve,
@@ -355,20 +476,30 @@ func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) 
 			exp, gen := progress.Snapshot()
 			pe, pf := progress.SnapshotPruned()
 			inc, bestF, open := progress.Gauges()
+			wid := h.currentWorkerID()
 			var ack ReportResponse
 			err := w.post(jobCtx, "/v1/workers/jobs/"+lease.ID+"/report",
-				ReportRequest{WorkerID: workerID, Expanded: exp, Generated: gen,
+				ReportRequest{ProtocolVersion: ProtocolVersion,
+					WorkerID: wid, Expanded: exp, Generated: gen,
 					PrunedEquiv: pe, PrunedFTO: pf,
 					Incumbent: inc, BestF: bestF, OpenLen: open}, &ack)
-			// 410: the lease is gone (cancelled or re-queued elsewhere).
-			// 404: the coordinator forgot this worker entirely — the job
-			// has been (or is about to be) re-leased under someone else,
-			// so finishing this solve is pure waste; stop it too.
-			if (err == nil && ack.Cancel) ||
-				statusCode(err) == http.StatusGone || statusCode(err) == http.StatusNotFound {
+			switch {
+			case (err == nil && ack.Cancel) || statusCode(err) == http.StatusGone:
+				// The lease is gone (cancelled or re-queued elsewhere).
 				cancelled.Store(true)
 				cancelJob()
 				return
+			case statusCode(err) == http.StatusNotFound:
+				// The coordinator forgot this worker — typically a restart.
+				// Re-register presenting the held leases: an adopted lease
+				// keeps solving under the fresh identity the handle now
+				// carries; an abandoned one was already cancelled through
+				// the handle by applyAdoptions.
+				if rerr := w.reregister(jobCtx, wid); rerr != nil || h.isLost() {
+					cancelled.Store(true)
+					cancelJob()
+					return
+				}
 			}
 		}
 	}()
@@ -408,16 +539,16 @@ func (w *Worker) runJob(ctx context.Context, workerID string, lease *LeasedJob) 
 	case w.killed.Load():
 		// A crash reports nothing; the coordinator's failure detector
 		// takes it from here.
-	case cancelled.Load():
+	case cancelled.Load() || h.isLost():
 		// The lease is gone coordinator-side; a final report would 410.
 	case ctx.Err() != nil:
 		// Draining: hand the job back for another worker to finish.
-		w.abandonJob(workerID, lease.ID, progress)
+		w.abandonJob(h, progress)
 	default:
 		w.log.Info("job finished",
 			"job", lease.ID, "trace_id", lease.TraceID,
 			"attempt", lease.Attempt, "error", errMessage)
-		w.finishJob(workerID, lease.ID, lease.TraceID, progress, rec, res, errMessage)
+		w.finishJob(h, progress, rec, res, errMessage)
 	}
 }
 
@@ -432,7 +563,7 @@ const terminalReportTimeout = 10 * time.Second
 // gauges, and (for Done reports) the attempt's spans — from its live
 // progress and recorder.
 func terminalReport(workerID string, prog *solverpool.Progress, rec *obs.Recorder) ReportRequest {
-	req := ReportRequest{WorkerID: workerID}
+	req := ReportRequest{ProtocolVersion: ProtocolVersion, WorkerID: workerID}
 	req.Expanded, req.Generated = prog.Snapshot()
 	req.PrunedEquiv, req.PrunedFTO = prog.SnapshotPruned()
 	req.Incumbent, req.BestF, req.OpenLen = prog.Gauges()
@@ -444,28 +575,40 @@ func terminalReport(workerID string, prog *solverpool.Progress, rec *obs.Recorde
 
 // finishJob sends the terminal Done report. The coordinator may have
 // revoked the lease meanwhile (410) — then the outcome is simply dropped.
-func (w *Worker) finishJob(workerID, id, traceID string, prog *solverpool.Progress, rec *obs.Recorder, res *server.JobResult, errMessage string) {
+// A 404 right as the solve ends usually means the coordinator restarted:
+// re-register presenting the held leases, and if this lease is adopted,
+// deliver the outcome once more under the fresh identity.
+func (w *Worker) finishJob(h *heldLease, prog *solverpool.Progress, rec *obs.Recorder, res *server.JobResult, errMessage string) {
 	ctx, cancel := context.WithTimeout(context.Background(), terminalReportTimeout)
 	defer cancel()
-	req := terminalReport(workerID, prog, rec)
-	req.Done, req.Result, req.Error = true, res, errMessage
-	err := w.post(ctx, "/v1/workers/jobs/"+id+"/report", req, nil)
-	if err != nil && statusCode(err) != http.StatusGone {
-		w.logf("job %s: final report failed: %v", id, err)
-		w.log.Warn("final report failed", "job", id, "trace_id", traceID, "error", err.Error())
+	for attempt := 0; ; attempt++ {
+		req := terminalReport(h.currentWorkerID(), prog, rec)
+		req.Done, req.Result, req.Error = true, res, errMessage
+		err := w.post(ctx, "/v1/workers/jobs/"+h.jobID+"/report", req, nil)
+		if err == nil || statusCode(err) == http.StatusGone {
+			return
+		}
+		if attempt == 0 && statusCode(err) == http.StatusNotFound {
+			if rerr := w.reregister(ctx, h.currentWorkerID()); rerr == nil && !h.isLost() {
+				continue
+			}
+		}
+		w.logf("job %s: final report failed: %v", h.jobID, err)
+		w.log.Warn("final report failed", "job", h.jobID, "trace_id", h.traceID, "error", err.Error())
+		return
 	}
 }
 
 // abandonJob hands a job back to the coordinator for re-leasing. No spans
 // ride an Abandon: the attempt did not conclude, and the next lease's
 // worker will record its own.
-func (w *Worker) abandonJob(workerID, id string, prog *solverpool.Progress) {
+func (w *Worker) abandonJob(h *heldLease, prog *solverpool.Progress) {
 	ctx, cancel := context.WithTimeout(context.Background(), terminalReportTimeout)
 	defer cancel()
-	req := terminalReport(workerID, prog, nil)
+	req := terminalReport(h.currentWorkerID(), prog, nil)
 	req.Abandon = true
-	err := w.post(ctx, "/v1/workers/jobs/"+id+"/report", req, nil)
+	err := w.post(ctx, "/v1/workers/jobs/"+h.jobID+"/report", req, nil)
 	if err != nil && statusCode(err) != http.StatusGone {
-		w.logf("job %s: abandon failed: %v", id, err)
+		w.logf("job %s: abandon failed: %v", h.jobID, err)
 	}
 }

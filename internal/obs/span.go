@@ -92,6 +92,19 @@ func NewRecorder(traceID string) *Recorder {
 	return &Recorder{traceID: traceID}
 }
 
+// NewRecorderSeeded rebuilds a recorder from spans recovered off durable
+// storage — the restart path: the job store spills each job's spans into
+// its WAL record, and a restarted daemon reseeds the trace so
+// /v1/jobs/{id}/trace spans the crash. Spans beyond the cap count as
+// dropped, exactly as if they had been recorded live.
+func NewRecorderSeeded(traceID string, spans []Span) *Recorder {
+	r := &Recorder{traceID: traceID}
+	for _, s := range spans {
+		r.Record(s)
+	}
+	return r
+}
+
 // TraceID returns the job's trace identifier.
 func (r *Recorder) TraceID() string { return r.traceID }
 

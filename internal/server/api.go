@@ -352,18 +352,66 @@ type BuildInfo struct {
 
 // ClusterHealth is the coordinator's aggregate view inside /v1/healthz.
 type ClusterHealth struct {
-	Workers    int   `json:"workers"`    // live registered workers
-	Capacity   int   `json:"capacity"`   // sum of their solve slots
-	Leased     int   `json:"leased"`     // jobs currently leased out
-	Pending    int   `json:"pending"`    // jobs queued for a lease
-	Dispatched int64 `json:"dispatched"` // leases granted since start
-	Failovers  int64 `json:"failovers"`  // re-queues after a death/expiry/abandon
+	Workers    int   `json:"workers"`             // live registered workers
+	Capacity   int   `json:"capacity"`            // sum of their solve slots
+	Leased     int   `json:"leased"`              // jobs currently leased out
+	Pending    int   `json:"pending"`             // jobs queued for a lease
+	Dispatched int64 `json:"dispatched"`          // leases granted since start
+	Failovers  int64 `json:"failovers"`           // re-queues after a death/expiry/abandon
+	Adoptions  int64 `json:"adoptions,omitempty"` // recovered leases re-adopted across a restart
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the unified error envelope: the body of every non-2xx
+// response from every /v1 endpoint, job API and cluster worker API alike.
+// Code is a stable machine-readable identifier from the Err* catalog
+// below; Message is the human-readable detail; JobID names the job the
+// error concerns when there is one. docs/API.md documents every code.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	JobID   string `json:"job_id,omitempty"`
 }
+
+// The error-code catalog. Codes are part of the wire contract: clients
+// switch on them, so a code never changes meaning once shipped.
+const (
+	// ErrCodeBadRequest: the request body or parameters failed to decode
+	// or validate (malformed JSON, unknown field, bad engine name, bad
+	// instance, oversize graph).
+	ErrCodeBadRequest = "bad_request"
+	// ErrCodeUnknownJob: the path names a job the store does not hold.
+	ErrCodeUnknownJob = "unknown_job"
+	// ErrCodeNoResult: the job is terminal without a schedule (failed or
+	// cancelled before an incumbent), so /result and /gantt have nothing
+	// to render.
+	ErrCodeNoResult = "no_result"
+	// ErrCodeNoTrace: the job predates durable traces (recovered from a
+	// store written before spans were spilled), so /trace has no timeline.
+	ErrCodeNoTrace = "no_trace"
+	// ErrCodeStoreFull: admission would exceed the retained-job cap and
+	// no terminal job could be evicted.
+	ErrCodeStoreFull = "store_full"
+	// ErrCodeBacklogFull: admission would exceed the queued-jobs-per-slot
+	// backpressure bound; retry later or add capacity.
+	ErrCodeBacklogFull = "backlog_full"
+	// ErrCodeShuttingDown: the daemon is draining and accepts no new work.
+	ErrCodeShuttingDown = "shutting_down"
+	// ErrCodeInternal: the handler failed for a reason that is not the
+	// caller's fault.
+	ErrCodeInternal = "internal"
+	// ErrCodeUnknownWorker: the worker ID is not registered (the
+	// coordinator restarted or timed the worker out); the worker must
+	// re-register, presenting any leases it still holds.
+	ErrCodeUnknownWorker = "unknown_worker"
+	// ErrCodeLeaseGone: the reported job is no longer leased to this
+	// worker (it failed over, finished, or was cancelled); the worker
+	// drops the solve.
+	ErrCodeLeaseGone = "lease_gone"
+	// ErrCodeProtocolMismatch: the worker speaks a different cluster wire
+	// protocol revision than the coordinator; the message names both
+	// versions. Not retryable — redeploy the older side.
+	ErrCodeProtocolMismatch = "protocol_mismatch"
+)
 
 // decodeInstance turns a submit request into a validated (graph, system)
 // pair. Every failure is a client error (HTTP 400).

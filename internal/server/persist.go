@@ -7,22 +7,32 @@ package server
 //
 // On-disk layout under the store directory (-store-dir):
 //
-//	jobs.json   snapshot: {"schema":1,"seq":N,"jobs":[jobRecord...]},
-//	            rewritten atomically (temp file + rename) at compaction
+//	jobs.json   snapshot: {"schema":1,"seq":N,"jobs":[jobRecord...],
+//	            "leases":[LeaseRecord...]}, rewritten atomically (temp
+//	            file + rename) at compaction
 //	wal.jsonl   append-only JSON-lines WAL; each line is one jobRecord
 //	            carrying the job's full state after a mutation ("put"),
-//	            or a tombstone ("delete") for sweeps/evictions
+//	            a tombstone ("delete") for sweeps/evictions, a cluster
+//	            lease grant ("lease", payload in the lease field), or a
+//	            lease tombstone ("unlease")
 //
 // Recovery replays the snapshot, then the WAL in order. Records are
 // idempotent full-state puts, merged by state precedence (terminal beats
 // running beats queued), so the crash window between a snapshot rename
 // and the WAL truncation — where the WAL still holds records the snapshot
 // already absorbed — replays harmlessly. A torn final WAL line (the
-// normal crash artifact) ends replay at the last intact record. Jobs that
-// were queued or running at the crash cannot be resumed (their contexts
-// and solver state died with the process); they are recovered as failed
-// with an "interrupted" error so clients see an honest terminal state.
-// Terminal records fsync on append; the snapshot fsyncs before rename.
+// normal crash artifact) ends replay at the last intact record.
+//
+// Jobs that were queued or running at the crash split two ways. A job
+// with a live lease record was solving on a cluster worker whose process
+// did not die with the daemon: it is recovered live (same state, open
+// done channel) so the coordinator can re-adopt the lease — see
+// Server.ResumeRecovered and internal/cluster. A job without one had its
+// solver state die with the process; it is recovered as failed with an
+// "interrupted" error so clients see an honest terminal state. Every put
+// also spills the job's trace spans, so /v1/jobs/{id}/trace survives the
+// restart. Terminal and lease records fsync on append; the snapshot
+// fsyncs before rename.
 
 import (
 	"bufio"
@@ -36,6 +46,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/procgraph"
 	"repro/internal/solverpool"
 	"repro/internal/taskgraph"
@@ -51,6 +62,14 @@ const (
 	// maxRecordBytes bounds one WAL line / snapshot, matching the submit
 	// body bound — no legitimate record outgrows the largest instance.
 	maxRecordBytes = 16 << 20
+)
+
+// WAL record ops. The empty op is a legacy snapshot row (treated as put).
+const (
+	opPutRec  = "put"
+	opDelRec  = "delete"
+	opLease   = "lease"   // payload in jobRecord.Lease
+	opUnlease = "unlease" // lease tombstone; only the ID matters
 )
 
 // jobRecord is the persisted form of one job: everything a restarted
@@ -75,6 +94,14 @@ type jobRecord struct {
 	Generated   int64           `json:"generated,omitempty"`
 	PrunedEquiv int64           `json:"pruned_equiv,omitempty"`
 	PrunedFTO   int64           `json:"pruned_fto,omitempty"`
+	// TraceID/Spans/DroppedSpans spill the job's trace into the durable
+	// record on every put, so /v1/jobs/{id}/trace survives a restart.
+	TraceID      string     `json:"trace_id,omitempty"`
+	Spans        []obs.Span `json:"spans,omitempty"`
+	DroppedSpans int        `json:"dropped_spans,omitempty"`
+	// Lease is the payload of an op "lease" record — the cluster lease
+	// journal rides the job WAL (see lease.go).
+	Lease *LeaseRecord `json:"lease,omitempty"`
 }
 
 // storeSnapshot is the jobs.json document.
@@ -82,6 +109,9 @@ type storeSnapshot struct {
 	Schema int         `json:"schema"`
 	Seq    int64       `json:"seq"`
 	Jobs   []jobRecord `json:"jobs"`
+	// Leases are the live cluster leases at compaction time (absent from
+	// snapshots written before the lease journal existed).
+	Leases []LeaseRecord `json:"leases,omitempty"`
 }
 
 // decodeRecord parses one WAL line strictly: valid JSON, a known op, and
@@ -94,7 +124,14 @@ func decodeRecord(line []byte) (jobRecord, error) {
 		return jobRecord{}, err
 	}
 	switch rec.Op {
-	case "", "put", "delete":
+	case "", opPutRec, opDelRec, opUnlease:
+	case opLease:
+		if rec.Lease == nil {
+			return jobRecord{}, fmt.Errorf("server: lease WAL record without a lease payload")
+		}
+		if rec.Lease.Token == "" {
+			return jobRecord{}, fmt.Errorf("server: lease WAL record without a token")
+		}
 	default:
 		return jobRecord{}, fmt.Errorf("server: unknown WAL op %q", rec.Op)
 	}
@@ -134,55 +171,76 @@ func decodeSnapshot(data []byte) (*storeSnapshot, error) {
 	return &snap, nil
 }
 
-// loadRecords reads the snapshot and replays the WAL, returning the merged
-// live records and the largest ID sequence number seen anywhere.
-func loadRecords(dir string) (map[string]jobRecord, int64, error) {
+// loadRecords reads the snapshot and replays the WAL, returning the
+// merged live job records, the live lease records, and the largest ID
+// sequence number seen anywhere. Lease records merge by the same replay
+// order as job records — the latest grant for a job wins, an unlease
+// tombstone clears it — and are then filtered against the merged job
+// states: a lease whose job is terminal or missing is dropped, never
+// offered for adoption.
+func loadRecords(dir string) (map[string]jobRecord, map[string]LeaseRecord, int64, error) {
 	recs := map[string]jobRecord{}
+	leases := map[string]LeaseRecord{}
 	var seq int64
 	if data, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
 		snap, err := decodeSnapshot(data)
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 		seq = snap.Seq
 		for _, rec := range snap.Jobs {
 			recs[rec.ID] = rec
 		}
+		for _, lr := range snap.Leases {
+			leases[lr.JobID] = lr
+		}
 	} else if !os.IsNotExist(err) {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 
 	f, err := os.Open(filepath.Join(dir, walName))
 	if err != nil {
-		if os.IsNotExist(err) {
-			return recs, seq, nil
+		if !os.IsNotExist(err) {
+			return nil, nil, 0, err
 		}
-		return nil, 0, err
+	} else {
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 64<<10), maxRecordBytes)
+		for sc.Scan() {
+			rec, err := decodeRecord(sc.Bytes())
+			if err != nil {
+				// A torn or corrupt line ends replay at the last intact record
+				// — the records behind it are already durable.
+				break
+			}
+			if rec.Seq > seq {
+				seq = rec.Seq
+			}
+			switch rec.Op {
+			case opDelRec:
+				delete(recs, rec.ID)
+				delete(leases, rec.ID)
+			case opLease:
+				leases[rec.ID] = *rec.Lease
+			case opUnlease:
+				delete(leases, rec.ID)
+			default:
+				if prev, ok := recs[rec.ID]; ok && stateRank(rec.State) < stateRank(prev.State) {
+					continue
+				}
+				recs[rec.ID] = rec
+			}
+		}
+		// A scanner error (oversized line) likewise truncates replay.
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64<<10), maxRecordBytes)
-	for sc.Scan() {
-		rec, err := decodeRecord(sc.Bytes())
-		if err != nil {
-			// A torn or corrupt line ends replay at the last intact record
-			// — the records behind it are already durable.
-			break
+	for id := range leases {
+		rec, ok := recs[id]
+		if !ok || terminal(rec.State) {
+			delete(leases, id)
 		}
-		if rec.Seq > seq {
-			seq = rec.Seq
-		}
-		if rec.Op == "delete" {
-			delete(recs, rec.ID)
-			continue
-		}
-		if prev, ok := recs[rec.ID]; ok && stateRank(rec.State) < stateRank(prev.State) {
-			continue
-		}
-		recs[rec.ID] = rec
 	}
-	// A scanner error (oversized line) likewise truncates replay.
-	return recs, seq, nil
+	return recs, leases, seq, nil
 }
 
 // recordOf snapshots a job into its persisted form; the caller holds the
@@ -205,19 +263,30 @@ func recordOf(op storeOp, j *job, seq int64) jobRecord {
 	}
 	if op == opDelete {
 		// Tombstones carry no payload; replay only needs the ID.
-		return jobRecord{Op: "delete", Seq: seq, ID: j.id}
+		return jobRecord{Op: opDelRec, Seq: seq, ID: j.id}
 	}
-	rec.Op = "put"
+	rec.Op = opPutRec
 	rec.Expanded, rec.Generated = j.progress.Snapshot()
 	rec.PrunedEquiv, rec.PrunedFTO = j.progress.SnapshotPruned()
+	if j.trace != nil {
+		// Spill the trace so the timeline survives a restart. The recorder
+		// takes its own (leaf) mutex under the store mutex; it never locks
+		// back into the store.
+		rec.TraceID = j.trace.TraceID()
+		rec.Spans, rec.DroppedSpans = j.trace.Snapshot()
+	}
 	return rec
 }
 
 // toJob rebuilds a live job from a recovered record. Jobs that were
 // queued or running when the process died are rewritten as failed with an
 // "interrupted" error — their solver state is unrecoverable, and an
-// honest terminal state beats a job stuck "running" forever.
-func (rec jobRecord) toJob(now time.Time) (*job, error) {
+// honest terminal state beats a job stuck "running" forever — unless
+// resumable is set: a job with a live lease record was solving on a
+// cluster worker that may still be alive, so it keeps its state and an
+// open done channel for Server.ResumeRecovered to re-dispatch. A spilled
+// trace is reseeded either way, so /v1/jobs/{id}/trace spans the restart.
+func (rec jobRecord) toJob(now time.Time, resumable bool) (*job, error) {
 	g, err := taskgraph.FromJSON(rec.Graph)
 	if err != nil {
 		return nil, fmt.Errorf("server: job %s: recovering graph: %w", rec.ID, err)
@@ -226,7 +295,7 @@ func (rec jobRecord) toJob(now time.Time) (*job, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: job %s: recovering system: %w", rec.ID, err)
 	}
-	if !terminal(rec.State) {
+	if !terminal(rec.State) && !resumable {
 		rec.Error = fmt.Sprintf("interrupted: daemon restarted while the job was %s", rec.State)
 		rec.State = StateFailed
 		rec.Finished = now
@@ -251,9 +320,16 @@ func (rec jobRecord) toJob(now time.Time) (*job, error) {
 		result:     rec.Result,
 		errMessage: rec.Error,
 	}
+	if rec.TraceID != "" {
+		// Jobs persisted before traces were spilled keep a nil recorder
+		// (and /trace keeps answering 404 for them).
+		j.trace = obs.NewRecorderSeeded(rec.TraceID, rec.Spans)
+	}
 	j.progress.Record(rec.Expanded, rec.Generated)
 	j.progress.RecordPruned(rec.PrunedEquiv, rec.PrunedFTO)
-	close(j.done) // recovered jobs are terminal; waiters must not block
+	if terminal(j.state) {
+		close(j.done) // recovered terminal jobs: waiters must not block
+	}
 	if j.result != nil {
 		j.result.State = j.state
 	}
@@ -278,6 +354,15 @@ type fileStore struct {
 	dir        string
 	wal        *os.File
 	walRecords int
+	// leases is the live cluster lease table (see lease.go), journaled
+	// through the same WAL and guarded by the same store mutex.
+	leases map[string]LeaseRecord
+	// adoptable are the leases that survived the last recovery, frozen at
+	// open time for the coordinator's adoption window.
+	adoptable []LeaseRecord
+	// resumed are the non-terminal jobs recovered live because a lease
+	// record vouched for them; Server.ResumeRecovered re-dispatches them.
+	resumed []*job
 }
 
 // openFileStore opens (or creates) the store directory, recovers the
@@ -288,25 +373,36 @@ func openFileStore(dir string, cap int, ttl time.Duration) (*fileStore, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, err
 	}
-	fs := &fileStore{memStore: newStore(cap, ttl), dir: dir}
-	recs, seq, err := loadRecords(dir)
+	fs := &fileStore{memStore: newStore(cap, ttl), dir: dir, leases: map[string]LeaseRecord{}}
+	recs, leases, seq, err := loadRecords(dir)
 	if err != nil {
 		return nil, err
 	}
 	now := time.Now()
 	for _, rec := range recs {
-		j, err := rec.toJob(now)
+		_, resumable := leases[rec.ID]
+		j, err := rec.toJob(now, resumable)
 		if err != nil {
 			// A record whose instance no longer parses is unrecoverable;
 			// drop it rather than refuse every other job.
 			fmt.Fprintln(os.Stderr, "icpp98d:", err)
+			delete(leases, rec.ID)
 			continue
 		}
 		fs.jobs[j.id] = j
+		if !terminal(j.state) {
+			fs.resumed = append(fs.resumed, j)
+		}
 		if n := idSeq(j.id); n > seq {
 			seq = n
 		}
 	}
+	fs.leases = leases
+	for _, lr := range leases {
+		fs.adoptable = append(fs.adoptable, lr)
+	}
+	sort.Slice(fs.adoptable, func(i, k int) bool { return fs.adoptable[i].JobID < fs.adoptable[k].JobID })
+	sort.Slice(fs.resumed, func(i, k int) bool { return idSeq(fs.resumed[i].id) < idSeq(fs.resumed[k].id) })
 	fs.seq = seq
 	// Respect the capacity bound on the recovered population (a smaller
 	// -store than the previous run, say) by evicting oldest-terminal.
@@ -339,7 +435,19 @@ func (fs *fileStore) add(j *job) (string, error) {
 // the store mutex; file errors are reported but do not fail the mutation
 // — the in-memory store stays authoritative for the live process.
 func (fs *fileStore) appendLocked(op storeOp, j *job) {
-	rec := recordOf(op, j, fs.seq)
+	// Terminal records are the ones a restart must not lose.
+	fs.writeRecordLocked(recordOf(op, j, fs.seq), op == opPut && terminal(j.state))
+	if op == opDelete {
+		// A job leaving the store takes its lease with it; the delete
+		// tombstone already clears the lease on replay (loadRecords), so no
+		// separate unlease line is needed.
+		delete(fs.leases, j.id)
+	}
+}
+
+// writeRecordLocked appends one record to the WAL (fsyncing when asked)
+// and compacts at the growth bound; the caller holds the store mutex.
+func (fs *fileStore) writeRecordLocked(rec jobRecord, sync bool) {
 	line, err := json.Marshal(rec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "icpp98d: persisting job record:", err)
@@ -350,8 +458,7 @@ func (fs *fileStore) appendLocked(op storeOp, j *job) {
 		return
 	}
 	fs.walRecords++
-	if op == opPut && terminal(j.state) {
-		// Terminal records are the ones a restart must not lose.
+	if sync {
 		fs.wal.Sync()
 	}
 	if fs.walRecords >= compactEvery {
@@ -371,6 +478,10 @@ func (fs *fileStore) compactLocked() error {
 		snap.Jobs = append(snap.Jobs, recordOf(opPut, j, fs.seq))
 	}
 	sort.Slice(snap.Jobs, func(i, k int) bool { return idSeq(snap.Jobs[i].ID) < idSeq(snap.Jobs[k].ID) })
+	for _, lr := range fs.leases {
+		snap.Leases = append(snap.Leases, lr)
+	}
+	sort.Slice(snap.Leases, func(i, k int) bool { return idSeq(snap.Leases[i].JobID) < idSeq(snap.Leases[k].JobID) })
 	data, err := json.MarshalIndent(&snap, "", " ")
 	if err != nil {
 		return err
@@ -405,6 +516,14 @@ func (fs *fileStore) compactLocked() error {
 	fs.wal = wal
 	fs.walRecords = 0
 	return nil
+}
+
+// recovered implements JobStore: the jobs recovered live at open because
+// a lease record vouched for them.
+func (fs *fileStore) recovered() []*job {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return append([]*job(nil), fs.resumed...)
 }
 
 // close compacts one last time (making the snapshot the complete record

@@ -173,8 +173,10 @@ func TestRestartRecoverySurvivesSecondRestart(t *testing.T) {
 }
 
 // TestLoadRecordsMergeAndTornTail drives the replay merge directly: a
-// stale WAL record must not regress a snapshot state, deletes tombstone,
-// and a torn final line ends replay without error.
+// stale WAL record must not regress a snapshot state, deletes tombstone
+// (jobs and their leases alike), lease records merge latest-wins and are
+// filtered against the merged job states, and a torn final line ends
+// replay without error.
 func TestLoadRecordsMergeAndTornTail(t *testing.T) {
 	dir := t.TempDir()
 	snap := storeSnapshot{Schema: storeSchema, Seq: 3, Jobs: []jobRecord{
@@ -190,23 +192,31 @@ func TestLoadRecordsMergeAndTornTail(t *testing.T) {
 	wal := strings.Join([]string{
 		`{"op":"put","seq":1,"id":"job-1","state":"running","created":"1970-01-01T00:00:10Z"}`, // stale: snapshot already saw done
 		`{"op":"put","seq":4,"id":"job-2","state":"queued","created":"1970-01-01T00:00:11Z"}`,
-		`{"op":"delete","seq":5,"id":"job-2"}`,
+		`{"op":"lease","seq":4,"id":"job-2","lease":{"job_id":"job-2","worker_id":"w1","token":"t2","attempt":1,"granted":"1970-01-01T00:00:11Z","deadline":"1970-01-01T00:00:26Z"}}`,
+		`{"op":"delete","seq":5,"id":"job-2"}`, // tombstones the job AND its lease
 		`{"op":"put","seq":6,"id":"job-3","state":"done","created":"1970-01-01T00:00:12Z"}`,
-		`{"op":"put","seq":7,"id":"job-4","state":"do`, // torn tail: replay stops here
+		`{"op":"lease","seq":6,"id":"job-3","lease":{"job_id":"job-3","worker_id":"w1","token":"t3","attempt":1,"granted":"1970-01-01T00:00:12Z","deadline":"1970-01-01T00:00:27Z"}}`, // job is terminal: filtered
+		`{"op":"put","seq":7,"id":"job-5","state":"running","created":"1970-01-01T00:00:13Z"}`,
+		`{"op":"lease","seq":7,"id":"job-5","lease":{"job_id":"job-5","worker_id":"w1","token":"t5-old","attempt":1,"granted":"1970-01-01T00:00:13Z","deadline":"1970-01-01T00:00:28Z"}}`,
+		`{"op":"lease","seq":7,"id":"job-5","lease":{"job_id":"job-5","worker_id":"w2","token":"t5","attempt":2,"granted":"1970-01-01T00:00:14Z","deadline":"1970-01-01T00:00:29Z"}}`, // latest grant wins
+		`{"op":"put","seq":8,"id":"job-6","state":"running","created":"1970-01-01T00:00:15Z"}`,
+		`{"op":"lease","seq":8,"id":"job-6","lease":{"job_id":"job-6","worker_id":"w1","token":"t6","attempt":1,"granted":"1970-01-01T00:00:15Z","deadline":"1970-01-01T00:00:30Z"}}`,
+		`{"op":"unlease","seq":8,"id":"job-6"}`,        // lease resolved before the crash
+		`{"op":"put","seq":9,"id":"job-4","state":"do`, // torn tail: replay stops here
 	}, "\n")
 	if err := os.WriteFile(filepath.Join(dir, walName), []byte(wal), 0o666); err != nil {
 		t.Fatal(err)
 	}
 
-	recs, seq, err := loadRecords(dir)
+	recs, leases, seq, err := loadRecords(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if seq != 6 {
-		t.Fatalf("seq = %d, want 6 (the last intact record)", seq)
+	if seq != 8 {
+		t.Fatalf("seq = %d, want 8 (the last intact record)", seq)
 	}
-	if len(recs) != 2 {
-		t.Fatalf("recovered %d records (%v), want 2", len(recs), recs)
+	if len(recs) != 4 {
+		t.Fatalf("recovered %d records (%v), want 4", len(recs), recs)
 	}
 	if recs["job-1"].State != StateDone {
 		t.Fatalf("job-1 regressed to %q; the stale WAL record must lose to the snapshot", recs["job-1"].State)
@@ -216,6 +226,16 @@ func TestLoadRecordsMergeAndTornTail(t *testing.T) {
 	}
 	if recs["job-3"].State != StateDone {
 		t.Fatalf("job-3 = %+v", recs["job-3"])
+	}
+	if len(leases) != 1 {
+		t.Fatalf("recovered %d leases (%v), want only job-5's", len(leases), leases)
+	}
+	lr, ok := leases["job-5"]
+	if !ok {
+		t.Fatalf("job-5's live lease was not recovered: %v", leases)
+	}
+	if lr.Token != "t5" || lr.WorkerID != "w2" || lr.Attempt != 2 {
+		t.Fatalf("job-5 lease = %+v; the latest grant must win the replay", lr)
 	}
 }
 
@@ -285,6 +305,12 @@ func FuzzStoreDecode(f *testing.F) {
 	f.Add([]byte(`{"id":"job-1","created":"not-a-time"}`))
 	f.Add([]byte(`{"schema":1,"seq":1,"jobs":[{"id":"job-1"}]}`))
 	f.Add([]byte("\x00\xff garbage"))
+	leaseSeed := []byte(`{"op":"lease","seq":12,"id":"job-1","lease":{"job_id":"job-1","worker_id":"worker-3","worker_name":"alpha","token":"deadbeefdeadbeefdeadbeefdeadbeef","attempt":2,"granted":"1970-01-01T00:00:10Z","deadline":"1970-01-01T00:00:25Z","trace_id":"tr-1"}}`)
+	f.Add(leaseSeed)
+	f.Add(leaseSeed[:len(leaseSeed)/2])                                                         // torn lease tail
+	f.Add([]byte(`{"op":"lease","seq":13,"id":"job-1"}`))                                       // payload-less lease: rejected
+	f.Add([]byte(`{"op":"lease","seq":14,"id":"job-1","lease":{"job_id":"job-1","token":""}}`)) // tokenless: rejected
+	f.Add([]byte(`{"op":"unlease","seq":15,"id":"job-1"}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decodeSnapshot(data) // must not panic; errors are fine
 		rec, err := decodeRecord(data)
@@ -303,6 +329,14 @@ func FuzzStoreDecode(f *testing.F) {
 			rec2.Seq != rec.Seq || !rec2.Created.Equal(rec.Created) ||
 			rec2.Expanded != rec.Expanded || rec2.Error != rec.Error {
 			t.Fatalf("round-trip drift:\nfirst:  %+v\nsecond: %+v", rec, rec2)
+		}
+		if (rec2.Lease == nil) != (rec.Lease == nil) {
+			t.Fatalf("lease presence drift:\nfirst:  %+v\nsecond: %+v", rec, rec2)
+		}
+		if rec.Lease != nil &&
+			(rec2.Lease.Token != rec.Lease.Token || rec2.Lease.WorkerID != rec.Lease.WorkerID ||
+				rec2.Lease.Attempt != rec.Lease.Attempt || !rec2.Lease.Granted.Equal(rec.Lease.Granted)) {
+			t.Fatalf("lease round-trip drift:\nfirst:  %+v\nsecond: %+v", rec.Lease, rec2.Lease)
 		}
 	})
 }

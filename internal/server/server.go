@@ -120,6 +120,12 @@ type DispatchJob struct {
 	// observes (lease grants, failovers) and the spans remote workers
 	// report back.
 	Trace *obs.Recorder
+	// Resume, when non-nil, marks this dispatch as the re-offer of a job
+	// recovered after a restart with a live lease record: the coordinator
+	// holds the lease open for its worker to re-adopt within the grace
+	// window instead of granting a fresh lease, and a worker that never
+	// returns re-queues the job without charging its retry budget.
+	Resume *LeaseRecord
 }
 
 // Dispatcher is the cluster hook: internal/cluster's coordinator
@@ -266,6 +272,114 @@ func (s *Server) EnableCluster(b ClusterBackend) {
 	s.mux.Handle("/v1/workers/", b.Handler())
 }
 
+// ResumeRecovered re-dispatches the jobs a file-backed store brought back
+// live — non-terminal jobs whose lease record says a cluster worker may
+// still be solving them. Call it after EnableCluster and before serving
+// traffic: with a cluster attached, each job is re-offered to the
+// coordinator carrying its recovered lease so the worker can re-adopt it;
+// without one (or when the job's lease is missing) the job is honestly
+// failed as interrupted, exactly as a leaseless restart would have. It
+// returns how many jobs were re-dispatched.
+func (s *Server) ResumeRecovered() int {
+	jobs := s.store.recovered()
+	ls := s.LeaseStore()
+	n := 0
+	for _, j := range jobs {
+		var lease *LeaseRecord
+		if ls != nil {
+			for _, lr := range ls.RecoveredLeases() {
+				if lr.JobID == j.id {
+					cp := lr
+					lease = &cp
+					break
+				}
+			}
+		}
+		if s.dispatcher == nil || lease == nil {
+			if ls != nil {
+				ls.DropLease(j.id)
+			}
+			traceID := ""
+			if j.trace != nil {
+				traceID = j.trace.TraceID()
+			}
+			s.log.Warn("recovered job not resumable",
+				"job", j.id, "trace_id", traceID, "state", j.state, "cluster", s.dispatcher != nil)
+			s.store.finish(j, nil, fmt.Sprintf("interrupted: daemon restarted while the job was %s", j.state))
+			continue
+		}
+		if j.trace == nil {
+			// A record persisted before traces were spilled: the lease still
+			// knows the trace ID, so the resumed half of the timeline records.
+			j.trace = obs.NewRecorder(lease.TraceID)
+		}
+		jobCtx, cancel := context.WithCancel(s.baseCtx)
+		j.cancel = cancel
+		cfg := j.config.EngineConfig()
+		j.progress.Attach(&cfg)
+		s.closeMu.Lock()
+		if s.baseCtx.Err() != nil {
+			s.closeMu.Unlock()
+			cancel()
+			s.store.finish(j, nil, fmt.Sprintf("interrupted: daemon restarted while the job was %s", j.state))
+			continue
+		}
+		s.wg.Add(1)
+		s.closeMu.Unlock()
+		n++
+		s.log.Info("resuming recovered job",
+			"job", j.id, "trace_id", lease.TraceID,
+			"worker_id", lease.WorkerID, "attempt", lease.Attempt)
+		go s.resume(jobCtx, j, cfg, lease)
+	}
+	return n
+}
+
+// resume is the lifecycle goroutine of a recovered job: like run, minus
+// admission and the cache lookup (the job is past both), plus the
+// recovered lease riding the dispatch so the coordinator re-adopts
+// instead of re-leasing. A cluster that declines falls back to the local
+// pool — the job restarts from scratch there, which is still strictly
+// better than failing it.
+func (s *Server) resume(ctx context.Context, j *job, cfg engine.Config, lease *LeaseRecord) {
+	defer s.wg.Done()
+	defer j.cancel()
+	ring := obs.NewRing(0)
+	j.ring.Store(ring)
+	stopSampler := obs.StartSampler(ctx, j.progress, s.sample, ring)
+	j.stopSampler.Store(&stopSampler)
+	defer stopSampler()
+	if d := s.dispatcher; d != nil {
+		dispatch := j.trace.Start("dispatch", obs.OriginDaemon)
+		res, errMessage, handled := d.Dispatch(ctx, DispatchJob{
+			ID:       j.id,
+			Graph:    j.graph,
+			System:   j.system,
+			Engines:  j.engines,
+			Config:   j.config,
+			Started:  func() { s.store.markRunning(j) },
+			Progress: j.progress.Record,
+			Pruned:   j.progress.RecordPruned,
+			Gauges:   j.progress.RecordGauges,
+			TraceID:  j.trace.TraceID(),
+			Trace:    j.trace,
+			Resume:   lease,
+		})
+		dispatch.End("handled", strconv.FormatBool(handled), "resume", "true")
+		if handled {
+			s.finishJob(ctx, j, res, errMessage)
+			return
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.finishJob(ctx, j, nil, "")
+		return
+	}
+	s.runLocal(ctx, j, cfg)
+}
+
 // capacity is the aggregate solve-slot count: the local pool plus every
 // live cluster worker.
 func (s *Server) capacity() int {
@@ -297,8 +411,17 @@ func WriteJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func WriteError(w http.ResponseWriter, code int, format string, args ...any) {
-	WriteJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+// WriteError writes the unified error envelope: an HTTP status, a stable
+// machine-readable code from the Err* catalog (api.go), and a formatted
+// human-readable message.
+func WriteError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	WriteJSON(w, status, ErrorResponse{Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// WriteJobError is WriteError with the envelope's job_id field set — for
+// errors scoped to one job.
+func WriteJobError(w http.ResponseWriter, status int, code, jobID string, format string, args ...any) {
+	WriteJSON(w, status, ErrorResponse{Code: code, Message: fmt.Sprintf(format, args...), JobID: jobID})
 }
 
 // handleSubmit decodes, validates, and enqueues a job. Everything wrong
@@ -309,7 +432,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	admitStart := time.Now()
 	select {
 	case <-s.baseCtx.Done():
-		WriteError(w, http.StatusServiceUnavailable, "server is shutting down")
+		WriteError(w, http.StatusServiceUnavailable, ErrCodeShuttingDown, "server is shutting down")
 		return
 	default:
 	}
@@ -320,25 +443,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		WriteError(w, http.StatusBadRequest, "bad request body: %v", err)
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	g, sys, err := decodeInstance(&req)
 	if err != nil {
-		WriteError(w, http.StatusBadRequest, "bad instance: %v", err)
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad instance: %v", err)
 		return
 	}
 	names, err := engineNames(&req)
 	if err != nil {
-		WriteError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 	if err := req.Config.Validate(); err != nil {
-		WriteError(w, http.StatusBadRequest, "bad config: %v", err)
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad config: %v", err)
 		return
 	}
 	if req.Cache != "" && req.Cache != CacheBypass {
-		WriteError(w, http.StatusBadRequest, "bad cache mode %q (want %q or empty)", req.Cache, CacheBypass)
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad cache mode %q (want %q or empty)", req.Cache, CacheBypass)
 		return
 	}
 	// The backlog check is the cluster-aware backpressure: the cap scales
@@ -346,7 +469,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// refusing load before the store fills with jobs nobody can run.
 	if s.backlog > 0 {
 		if active, cap := s.store.active(), s.capacity(); active >= s.backlog*cap {
-			WriteError(w, http.StatusServiceUnavailable,
+			WriteError(w, http.StatusServiceUnavailable, ErrCodeBacklogFull,
 				"backlog full: %d active jobs ≥ %d per slot × %d slots", active, s.backlog, cap)
 			return
 		}
@@ -376,7 +499,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id, err := s.store.add(j)
 	if err != nil {
 		cancel()
-		WriteError(w, http.StatusServiceUnavailable, "%v", err)
+		WriteError(w, http.StatusServiceUnavailable, ErrCodeStoreFull, "%v", err)
 		return
 	}
 	s.metrics.submitted.Add(1)
@@ -403,7 +526,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		cancel()
 		// The submitter is told 503, so the job must leave no record.
 		s.store.remove(id)
-		WriteError(w, http.StatusServiceUnavailable, "server is shutting down")
+		WriteError(w, http.StatusServiceUnavailable, ErrCodeShuttingDown, "server is shutting down")
 		return
 	}
 	s.wg.Add(1)
@@ -616,7 +739,7 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
 	id := r.PathValue("id")
 	j := s.store.get(id)
 	if j == nil {
-		WriteError(w, http.StatusNotFound, "unknown job %q", id)
+		WriteJobError(w, http.StatusNotFound, ErrCodeUnknownJob, id, "unknown job %q", id)
 	}
 	return j
 }
@@ -652,13 +775,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		if st.Error != "" {
 			msg += ": " + st.Error
 		}
-		WriteError(w, http.StatusConflict, "%s", msg)
+		WriteJobError(w, http.StatusConflict, ErrCodeNoResult, st.ID, "%s", msg)
 		return
 	}
 	if r.URL.Query().Get("format") == "gantt" {
 		sched, err := res.Schedule.ToSchedule(j.graph, j.system)
 		if err != nil {
-			WriteError(w, http.StatusInternalServerError, "%v", err)
+			WriteJobError(w, http.StatusInternalServerError, ErrCodeInternal, j.id, "%v", err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -734,9 +857,10 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if j.trace == nil {
-		// Only jobs recovered from a persisted store lack a recorder:
-		// traces are in-memory observability, not part of the durable record.
-		WriteError(w, http.StatusNotFound, "job %s has no trace (recovered from a previous run)", j.id)
+		// Only jobs recovered from a store written before spans were
+		// spilled into the durable record lack a recorder; current stores
+		// reseed the trace at recovery (see persist.go).
+		WriteJobError(w, http.StatusNotFound, ErrCodeNoTrace, j.id, "job %s has no trace (recovered from a previous run)", j.id)
 		return
 	}
 	st := s.store.status(j)

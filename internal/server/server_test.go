@@ -525,10 +525,13 @@ func TestMalformedSubmits(t *testing.T) {
 		json.NewDecoder(resp.Body).Decode(&e)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s: got %d (%s), want 400", tc.name, resp.StatusCode, e.Error)
+			t.Errorf("%s: got %d (%s), want 400", tc.name, resp.StatusCode, e.Message)
 		}
-		if e.Error == "" {
+		if e.Message == "" {
 			t.Errorf("%s: 400 without an error message", tc.name)
+		}
+		if e.Code != ErrCodeBadRequest {
+			t.Errorf("%s: code %q, want %q", tc.name, e.Code, ErrCodeBadRequest)
 		}
 	}
 
@@ -1050,8 +1053,8 @@ func TestOversizeGraphRejected(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(e.Error, fmt.Sprint(core.MaxNodes)) {
-		t.Fatalf("error %q does not name the %d-node cap", e.Error, core.MaxNodes)
+	if !strings.Contains(e.Message, fmt.Sprint(core.MaxNodes)) {
+		t.Fatalf("error %q does not name the %d-node cap", e.Message, core.MaxNodes)
 	}
 }
 

@@ -115,6 +115,10 @@ type JobStore interface {
 	nextEvent(j *job) JobStatus
 	// resultOf returns the job's result when it has one.
 	resultOf(j *job) *JobResult
+	// recovered returns the non-terminal jobs a restart brought back live
+	// (file-backed store with lease records only); Server.ResumeRecovered
+	// re-dispatches them.
+	recovered() []*job
 	// close releases any resources (files) the store holds.
 	close() error
 }
@@ -286,6 +290,9 @@ func (st *memStore) persistLocked(op storeOp, j *job) {
 		st.sink(op, j)
 	}
 }
+
+// recovered implements JobStore; the in-memory store never recovers jobs.
+func (st *memStore) recovered() []*job { return nil }
 
 // close implements JobStore; the in-memory store holds no resources.
 func (st *memStore) close() error { return nil }
